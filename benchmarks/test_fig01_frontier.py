@@ -1,0 +1,24 @@
+"""Fig. 1b — the latency/accuracy frontier on the memory-constrained edge.
+
+Paper shape: matching cloud accuracy with a naive vLLM TTS stack costs
+~200 s per request; FastTTS reaches the same accuracy at a fraction of that
+latency, pulling edge TTS under the cloud's first-answer latency.
+"""
+
+from repro.experiments import CLOUD_REFERENCES, fig1b_frontier
+
+
+def test_fig1b_frontier(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: fig1b_frontier(n_values=(8, 32), problems=2),
+        rounds=1, iterations=1,
+    )
+    show(out["table"])
+    for pair in out["pairs"]:
+        # FastTTS strictly dominates the baseline at equal accuracy.
+        assert pair.fasttts.latency.total < pair.baseline.latency.total
+        assert pair.fasttts.top1_accuracy == pair.baseline.top1_accuracy
+    benchmark.extra_info["cloud_reference_latency_s"] = CLOUD_REFERENCES[
+        "cloud_latency_s"
+    ]
+    benchmark.extra_info["rows"] = out["rows"]

@@ -1,0 +1,37 @@
+"""Fig. 3 — the motivation study.
+
+Left: accuracy climbs from Best-of-N to Beam Search to DVTS on MATH-500
+while latency climbs too (the accuracy-latency gap FastTTS attacks).
+Right: per-step token counts on AIME are wildly irregular — the max
+dwarfs the average at every step index (the straggler source).
+"""
+
+from repro.experiments import fig3_step_lengths, fig3_tts_methods
+
+
+def test_fig3_left_methods(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: fig3_tts_methods(n=16, problems=12),
+        rounds=1, iterations=1,
+    )
+    show(out["table"])
+    metrics = out["metrics"]
+    # Verifier guidance buys accuracy over Best-of-N...
+    assert metrics["beam_search"].top1_accuracy >= metrics["best_of_n"].top1_accuracy
+    assert metrics["dvts"].top1_accuracy >= metrics["best_of_n"].top1_accuracy
+    # ...at a latency premium over plain parallel sampling.
+    assert metrics["beam_search"].latency.total > metrics["best_of_n"].latency.total
+    benchmark.extra_info["rows"] = out["rows"]
+
+
+def test_fig3_right_step_lengths(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: fig3_step_lengths(n_paths=64, max_steps=10),
+        rounds=1, iterations=1,
+    )
+    show(out["table"])
+    # The avg-vs-max disparity persists across all steps (paper: extreme).
+    for avg, mx in zip(out["avg"], out["max"]):
+        assert mx > 1.5 * avg
+    assert max(out["max"]) > 3 * max(out["avg"])
+    benchmark.extra_info["rows"] = out["rows"]

@@ -1,0 +1,21 @@
+"""Fig. 4 — GPU occupancy by phase under the baseline.
+
+Paper shape: generation-phase utilization peaks early then decays as beams
+finish and the straggler runs alone; verification (uniform prefill) stays
+consistently high.
+"""
+
+from repro.experiments import fig4_phase_utilization
+
+
+def test_fig4_phase_utilization(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: fig4_phase_utilization(n=32),
+        rounds=1, iterations=1,
+    )
+    show(out["table"])
+    assert out["verification_util"] > 0.8
+    assert out["generation_util"] < out["verification_util"]
+    assert out["generation_decay"] < 0.5  # decays toward the lone straggler
+    benchmark.extra_info["generation_util"] = out["generation_util"]
+    benchmark.extra_info["verification_util"] = out["verification_util"]

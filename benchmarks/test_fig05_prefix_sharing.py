@@ -1,0 +1,54 @@
+"""Fig. 5 — the dynamic prefix-sharing opportunity.
+
+Left: without prefix caching the number of beams resident in memory grows
+linearly with iterations (every path stores private copies); with sharing
+it grows far slower. Right (summarized): naive scheduling does not place
+similar beams together.
+"""
+
+from repro.core.prefix_sched import lineage_order, random_order
+from repro.experiments import fig5_prefix_sharing
+from repro.experiments.figures import _tree_from_trace
+from repro.experiments.reference import pure_search
+from repro.search.registry import build_algorithm
+from repro.utils.rng import KeyedRng
+from repro.workloads.datasets import build_dataset
+
+
+def test_fig5_left_beams_in_memory(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: fig5_prefix_sharing(n=64),
+        rounds=1, iterations=1,
+    )
+    show(out["table"])
+    for name in ("beam_search", "dvts"):
+        series = out["series"][name]
+        # Private copies dwarf the shared tree by the final iteration.
+        assert series["without_cache"][-1] > 2 * series["with_cache"][-1]
+    benchmark.extra_info["rows"] = out["rows"]
+
+
+def test_fig5_right_naive_scheduling_scatters(benchmark):
+    """Adjacent beams share far less prefix under a shuffled order."""
+
+    def measure():
+        dataset = build_dataset("aime24", seed=0, size=1)
+        problem = list(dataset)[0]
+        trace = pure_search(problem, dataset, build_algorithm("beam_search", 64))
+        tree, leaves = _tree_from_trace(problem, trace, len(trace.rounds) - 1)
+        naive = random_order(leaves, KeyedRng(0))
+        grouped = lineage_order(leaves, lambda leaf: tuple(tree.path(leaf)))
+
+        def adjacent(order):
+            return sum(
+                tree.shared_prefix_nodes(order[i], order[i + 1])
+                for i in range(len(order) - 1)
+            )
+
+        return adjacent(naive), adjacent(grouped)
+
+    naive_sharing, grouped_sharing = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print(f"\nadjacent prefix sharing: naive={naive_sharing} grouped={grouped_sharing}")
+    assert grouped_sharing > 1.5 * naive_sharing

@@ -1,0 +1,25 @@
+"""Fig. 10 — Roofline-Guided KV Allocation across memory budgets.
+
+Paper shape: the optimal decode batch size grows with available KV memory
+and normalized throughput saturates; the verifier's prefill batch stays
+comparatively small because prefill saturates early (Fig. 6).
+"""
+
+from repro.experiments import fig10_allocation_sweep
+
+
+def test_fig10_allocation_sweep(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: fig10_allocation_sweep(n=128),
+        rounds=1, iterations=1,
+    )
+    show(out["table"])
+    rows = out["rows"]
+    b_decs = [row[2] for row in rows]
+    throughputs = [row[3] for row in rows]
+    assert b_decs == sorted(b_decs)              # decode batch grows
+    assert throughputs[-1] == max(throughputs)   # throughput saturates
+    # decode consistently gets the larger share of memory
+    for plan in out["plans"]:
+        assert plan.kv_dec_bytes > plan.kv_pre_bytes
+    benchmark.extra_info["rows"] = rows

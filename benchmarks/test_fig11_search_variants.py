@@ -1,0 +1,26 @@
+"""Fig. 11 — goodput across search-algorithm variants.
+
+Paper shape: FastTTS improves precise goodput over the vLLM baseline for
+every variant (Beam Search, DVTS, Dynamic Branching, Varying Granularity),
+with gains between 1.2x and 3.9x.
+"""
+
+from repro.experiments import fig11_search_variants
+
+
+def test_fig11_search_variants(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: fig11_search_variants(n_values=(8, 32), problems=2),
+        rounds=1, iterations=1,
+    )
+    show(out["table"])
+    gains = []
+    for variant, pairs in out["results"].items():
+        for pair in pairs:
+            assert pair.goodput_gain > 1.0, f"{variant} n={pair.spec.n} regressed"
+            gains.append(pair.goodput_gain)
+    assert max(gains) > 1.2
+    benchmark.extra_info["gains"] = {
+        variant: [round(p.goodput_gain, 2) for p in pairs]
+        for variant, pairs in out["results"].items()
+    }

@@ -1,0 +1,34 @@
+"""Fig. 12 — the main result: FastTTS goodput improvement.
+
+Paper shape: consistent goodput gains over the vLLM baseline across all
+three model configurations (1.5B+1.5B, 1.5B+7B, 7B+1.5B) and both datasets
+(AIME, AMC), averaging 2.2x over the full n sweep and growing with n.
+"""
+
+from repro.experiments import fig12_goodput_grid
+
+
+def test_fig12_goodput_grid(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: fig12_goodput_grid(n_values=(8, 64), problems=2),
+        rounds=1, iterations=1,
+    )
+    show(out["table"])
+    for pair in out["pairs"]:
+        assert pair.goodput_gain > 1.0, (
+            f"{pair.spec.model_config}/{pair.spec.dataset_name}/n={pair.spec.n}"
+        )
+    assert out["mean_gain"] > 1.3
+    assert out["max_gain"] > 1.6
+    # gains grow with the search budget n within every config x dataset cell
+    by_cell = {}
+    for pair in out["pairs"]:
+        key = (pair.spec.model_config, pair.spec.dataset_name)
+        by_cell.setdefault(key, []).append((pair.spec.n, pair.goodput_gain))
+    grows = sum(
+        1 for gains in by_cell.values()
+        if sorted(gains)[-1][1] >= sorted(gains)[0][1]
+    )
+    assert grows >= len(by_cell) * 0.5
+    benchmark.extra_info["mean_gain"] = out["mean_gain"]
+    benchmark.extra_info["max_gain"] = out["max_gain"]

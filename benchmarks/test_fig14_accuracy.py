@@ -1,0 +1,33 @@
+"""Fig. 14 — algorithm accuracy: Top-1 and Pass@N.
+
+Paper shape: FastTTS matches the baseline's accuracy (algorithmic
+equivalence); AMC accuracy far exceeds AIME; the 7B-generator config is the
+strongest. In this reproduction equivalence is exact, so baseline and
+FastTTS columns are identical rather than merely "competitive".
+"""
+
+from repro.experiments import fig14_accuracy
+
+
+def test_fig14_accuracy(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: fig14_accuracy(n=32, problems=6),
+        rounds=1, iterations=1,
+    )
+    show(out["table"], out["table_pass"])
+    amc_acc, aime_acc = [], []
+    for (config, dataset_name), pair in out["outcomes"].items():
+        # exact equivalence: speculation/scheduling never change accuracy
+        assert pair.baseline.top1_accuracy == pair.fasttts.top1_accuracy
+        for k, rate in pair.baseline.pass_at.items():
+            assert pair.fasttts.pass_at[k] == rate
+        (amc_acc if dataset_name == "amc23" else aime_acc).append(
+            pair.baseline.top1_accuracy
+        )
+    assert max(amc_acc) > max(aime_acc)  # AMC is the easier benchmark
+    # pass@N is monotone in N for every cell
+    for pair in out["outcomes"].values():
+        ks = sorted(pair.baseline.pass_at)
+        rates = [pair.baseline.pass_at[k] for k in ks]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+    benchmark.extra_info["rows_top1"] = out["rows_top1"]

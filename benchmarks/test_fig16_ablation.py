@@ -1,0 +1,28 @@
+"""Fig. 16 — cumulative goodput-gain breakdown of the three optimizations.
+
+Paper shape: Dynamic Prefix-Aware Scheduling (P) provides a foundational
+gain; Asymmetric Memory Allocation (M) adds on top (most at large n);
+Speculative Beam Extension (S) provides a further, often largest, layer.
+The full stack dominates every partial stack.
+"""
+
+from repro.experiments import fig16_ablation
+
+
+def test_fig16_ablation(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: fig16_ablation(n=32, problems=2),
+        rounds=1, iterations=1,
+    )
+    show(out["table"])
+    speculation_added = 0
+    for config, gains in out["results"].items():
+        assert gains["P"] > 0.0, f"P regressed on {config}"
+        assert gains["S+M+P"] > 0.0
+        # the full stack never loses meaningfully to a partial stack
+        assert gains["S+M+P"] >= max(gains["P"], gains["M+P"]) - 0.03
+        if gains["S+M+P"] > gains["M+P"] + 0.02:
+            speculation_added += 1
+    # speculation provides a clear extra layer on most configs
+    assert speculation_added >= 2
+    benchmark.extra_info["rows"] = out["rows"]

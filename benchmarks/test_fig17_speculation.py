@@ -1,0 +1,25 @@
+"""Fig. 17 — Speculative Beam Extension in depth.
+
+Paper shape (left): the baseline's generation-phase occupancy decays as
+beams finish; FastTTS keeps it high by filling freed slots speculatively.
+Paper shape (right): an aggressive truncation ratio (R=0.85) retains more
+speculative work and yields more goodput than discarding it (R=0).
+"""
+
+from repro.experiments import fig17_speculation
+
+
+def test_fig17_speculation(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: fig17_speculation(n=32, problems=2, ratios=(0.0, 0.85)),
+        rounds=1, iterations=1,
+    )
+    show(out["table"])
+    assert out["fasttts_generation_util"] > out["baseline_generation_util"] + 0.1
+    for dataset_name in ("aime24", "amc23"):
+        assert (
+            out["goodputs"][(dataset_name, 0.85)]
+            >= out["goodputs"][(dataset_name, 0.0)]
+        )
+    benchmark.extra_info["baseline_util"] = out["baseline_generation_util"]
+    benchmark.extra_info["fasttts_util"] = out["fasttts_generation_util"]

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Code generation with TTS: the HumanEval workload (paper Sec. 6.4).
+
+Code-generation reasoning steps are shorter and more uniform than math
+steps, but the verifier-guided search pattern — and therefore FastTTS's
+optimizations — transfer. This example also shows a non-default search
+variant (Varying Granularity) whose per-step token budget starts fine and
+widens as trajectories commit.
+
+Usage::
+
+    python examples/code_generation.py
+"""
+
+from repro import TTSServer, VaryingGranularity, baseline_config, build_dataset, fasttts_config
+from repro.metrics import RunMetrics
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    dataset = build_dataset("humaneval", seed=0, size=3)
+    algorithm = VaryingGranularity(n=16, fine_cap=64, coarse_cap=512, fine_rounds=2)
+
+    rows = []
+    for label, config in [
+        ("vLLM baseline", baseline_config(memory_fraction=0.4)),
+        ("FastTTS", fasttts_config(memory_fraction=0.4)),
+    ]:
+        server = TTSServer(config, dataset)
+        metrics = RunMetrics.aggregate(server.run(list(dataset), algorithm))
+        rows.append([
+            label,
+            round(metrics.goodput, 1),
+            round(metrics.latency.total, 1),
+            round(metrics.top1_accuracy, 2),
+            round(metrics.pass_at.get(4, 0.0), 2),
+        ])
+
+    print(render_table(
+        ["system", "goodput tok/s", "latency s", "top-1 acc", "pass@4"],
+        rows,
+        title="HumanEval via Varying-Granularity search (RTX 4090)",
+    ))
+    gain = rows[1][1] / rows[0][1]
+    print(f"\ngoodput gain on code generation: {gain:.2f}x "
+          "(paper reports 1.3x-1.8x on HumanEval)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Edge deployment across GPU tiers, including KV offloading on 8 GB.
+
+Walks the paper's hardware ladder (RTX 4090 -> 4070 Ti -> 3070 Ti) with the
+same workload. On the 8 GB 3070 Ti, two 1.5B models leave almost no KV
+room, so the allocator's dual-strategy policy (Sec. 4.3.2) may choose to
+offload the inactive model's KV to host memory; the swap cost then appears
+in the latency breakdown.
+
+Usage::
+
+    python examples/edge_deployment.py
+"""
+
+from repro import BeamSearch, TTSServer, build_dataset, fasttts_config
+from repro.utils.tables import render_table, format_bytes
+
+
+def main() -> None:
+    dataset = build_dataset("aime24", seed=0, size=1)
+    problem = list(dataset)[0]
+    algorithm = BeamSearch(n=16)
+
+    tiers = [
+        ("rtx4090", 0.40),   # paper's constrained setting on the 24 GB card
+        ("rtx4070ti", 0.90),
+        ("rtx3070ti", 0.95),
+    ]
+    rows = []
+    for device, fraction in tiers:
+        server = TTSServer(
+            fasttts_config(device_name=device, memory_fraction=fraction), dataset
+        )
+        plan = server.plan_allocation(algorithm.n)
+        result = server.solve(problem, algorithm)
+        rows.append([
+            device,
+            format_bytes(server.kv_budget_bytes),
+            "offload" if plan.offload else "split",
+            format_bytes(plan.kv_dec_bytes),
+            format_bytes(plan.kv_pre_bytes),
+            round(result.goodput, 1),
+            round(result.latency.total, 1),
+            round(result.latency.swap, 2),
+        ])
+
+    print(render_table(
+        ["device", "KV budget", "strategy", "generator KV", "verifier KV",
+         "goodput tok/s", "latency s", "swap s"],
+        rows,
+        title="FastTTS across edge GPU tiers (AIME, 1.5B+1.5B, n=16)",
+    ))
+    print("\nThe allocator gives the bandwidth-hungry generator the larger KV")
+    print("slice everywhere; on the smallest card the offloading strategy can")
+    print("hand each model the full budget at the price of PCIe swaps.")
+
+
+if __name__ == "__main__":
+    main()

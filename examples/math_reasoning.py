@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Math reasoning at scale: sweep the beam budget on AIME and AMC.
+
+Reproduces the paper's headline trend in miniature: FastTTS's goodput gain
+over the baseline grows with the number of beams n, and accuracy grows
+with n for both systems identically (algorithmic equivalence).
+
+Usage::
+
+    python examples/math_reasoning.py [--problems 3] [--n 8 32 128]
+"""
+
+import argparse
+
+from repro.experiments import ExperimentSpec, sweep_n
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--problems", type=int, default=2,
+                        help="problems per dataset (default 2)")
+    parser.add_argument("--n", type=int, nargs="+", default=[8, 32, 128],
+                        help="beam budgets to sweep")
+    args = parser.parse_args()
+
+    rows = []
+    for dataset_name in ("aime24", "amc23"):
+        spec = ExperimentSpec(
+            dataset_name=dataset_name,
+            dataset_size=args.problems,
+            model_config="1.5B+1.5B",
+            algorithm="beam_search",
+        )
+        for pair in sweep_n(spec, args.n):
+            rows.append([
+                dataset_name,
+                pair.spec.n,
+                round(pair.baseline.goodput, 1),
+                round(pair.fasttts.goodput, 1),
+                round(pair.goodput_gain, 2),
+                round(pair.latency_reduction * 100, 0),
+                round(pair.fasttts.top1_accuracy, 2),
+            ])
+    print(render_table(
+        ["dataset", "n", "baseline tok/s", "fasttts tok/s", "gain x",
+         "latency saved %", "top-1 acc"],
+        rows,
+        title="Beam-budget sweep (1.5B generator + 1.5B PRM, RTX 4090 @ 40%)",
+    ))
+    print("\nNote: accuracy columns are identical for both systems by design —")
+    print("FastTTS optimizations are algorithmically equivalent to the baseline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Setup shim for environments without PEP 660 editable-install support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "FastTTS: Accelerating Test-Time Scaling for Edge LLM Reasoning "
+        "(ASPLOS 2026) - full-system reproduction"
+    ),
+    python_requires=">=3.11",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.26"],
+    extras_require={
+        "dev": ["pytest>=8", "pytest-benchmark>=4", "hypothesis>=6", "scipy>=1.11", "networkx>=3"],
+    },
+)

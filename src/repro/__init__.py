@@ -1,0 +1,58 @@
+"""FastTTS reproduction: test-time scaling serving for edge LLM reasoning.
+
+A full-system, simulation-backed reproduction of *FastTTS: Accelerating
+Test-Time Scaling for Edge LLM Reasoning* (ASPLOS 2026). The public API
+mirrors a serving library:
+
+>>> from repro import TTSServer, fasttts_config, build_dataset, BeamSearch
+>>> dataset = build_dataset("aime24", seed=0, size=2)
+>>> server = TTSServer(fasttts_config(memory_fraction=0.4), dataset)
+>>> results = server.run(list(dataset)[:1], BeamSearch(n=8))
+>>> results[0].goodput > 0
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.core import (
+    OffloadMode,
+    ServerConfig,
+    TTSServer,
+    baseline_config,
+    fasttts_config,
+)
+from repro.metrics import BeamRecord, ProblemRunResult, RunMetrics
+from repro.search import (
+    BeamSearch,
+    BestOfN,
+    DVTS,
+    DynamicBranching,
+    VaryingGranularity,
+    build_algorithm,
+    list_algorithms,
+)
+from repro.workloads import build_dataset, list_datasets
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TTSServer",
+    "ServerConfig",
+    "OffloadMode",
+    "baseline_config",
+    "fasttts_config",
+    "BeamSearch",
+    "BestOfN",
+    "DVTS",
+    "DynamicBranching",
+    "VaryingGranularity",
+    "build_algorithm",
+    "list_algorithms",
+    "build_dataset",
+    "list_datasets",
+    "BeamRecord",
+    "ProblemRunResult",
+    "RunMetrics",
+    "__version__",
+]

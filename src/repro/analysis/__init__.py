@@ -1,0 +1,25 @@
+"""Analysis helpers: straggler order statistics and deployment reports."""
+
+from repro.analysis.reports import (
+    OperatingPoint,
+    deployment_report,
+    operating_points,
+)
+from repro.analysis.straggler import (
+    expected_max_step_tokens,
+    expected_step_tokens,
+    idle_fraction,
+    lognormal_cdf,
+    sampled_max_step_tokens,
+)
+
+__all__ = [
+    "lognormal_cdf",
+    "expected_step_tokens",
+    "expected_max_step_tokens",
+    "idle_fraction",
+    "sampled_max_step_tokens",
+    "OperatingPoint",
+    "operating_points",
+    "deployment_report",
+]

@@ -1,0 +1,136 @@
+"""Deployment reports: where a configuration lands on the roofline.
+
+Answers the questions an operator asks before deploying a generator +
+verifier pair on an edge GPU: do the weights fit, how much KV is left,
+which stages are compute- vs bandwidth-bound at which batch sizes, and
+what the allocator would decide. Used by the examples and handy from the
+CLI (``python -m repro report``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocator import RooflineAllocator, WorkloadProfile
+from repro.hardware.device import DeviceSpec, get_device
+from repro.hardware.offload import OffloadLink
+from repro.hardware.roofline import Roofline
+from repro.models.costs import decode_step_cost, prefill_cost
+from repro.models.spec import ModelSpec
+from repro.models.zoo import model_pair
+from repro.utils.tables import format_bytes, render_table
+from repro.workloads.datasets import build_dataset
+
+__all__ = ["OperatingPoint", "operating_points", "deployment_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class OperatingPoint:
+    """One (stage, batch) point on the device roofline."""
+
+    stage: str
+    batch_size: int
+    flops: float
+    bytes: float
+    latency_s: float
+    compute_bound: bool
+    tokens_per_s: float
+
+
+def operating_points(
+    model: ModelSpec,
+    device: DeviceSpec,
+    batch_sizes: tuple[int, ...] = (1, 8, 64),
+    seq_len: int = 512,
+    efficiency: float = 0.6,
+) -> list[OperatingPoint]:
+    """Prefill and decode operating points for one model on one device."""
+    roofline = Roofline(device, efficiency)
+    points = []
+    for batch in batch_sizes:
+        cost = prefill_cost(model, batch, seq_len)
+        point = roofline.point(cost.flops, cost.bytes)
+        points.append(
+            OperatingPoint(
+                stage="prefill",
+                batch_size=batch,
+                flops=cost.flops,
+                bytes=cost.bytes,
+                latency_s=point.latency,
+                compute_bound=point.compute_bound,
+                tokens_per_s=batch * seq_len / point.latency,
+            )
+        )
+        cost = decode_step_cost(model, batch, seq_len / 2)
+        point = roofline.point(cost.flops, cost.bytes)
+        points.append(
+            OperatingPoint(
+                stage="decode",
+                batch_size=batch,
+                flops=cost.flops,
+                bytes=cost.bytes,
+                latency_s=point.latency,
+                compute_bound=point.compute_bound,
+                tokens_per_s=batch / point.latency,
+            )
+        )
+    return points
+
+
+def deployment_report(
+    model_config: str = "1.5B+1.5B",
+    device_name: str = "rtx4090",
+    memory_fraction: float = 0.9,
+    dataset_name: str = "aime24",
+    n: int = 64,
+) -> str:
+    """Human-readable feasibility + allocation report for a deployment."""
+    device = get_device(device_name)
+    generator, verifier = model_pair(model_config)
+    budget = int(device.usable_bytes * memory_fraction)
+    weights = generator.weight_bytes + verifier.weight_bytes
+    kv_budget = budget - weights
+
+    lines = [
+        f"deployment: {model_config} on {device.name} "
+        f"({format_bytes(device.vram_bytes)} VRAM, {memory_fraction:.0%} budget)",
+        f"  weights: generator {format_bytes(generator.weight_bytes)} + "
+        f"verifier {format_bytes(verifier.weight_bytes)} = {format_bytes(weights)}",
+    ]
+    if kv_budget <= 0:
+        lines.append("  INFEASIBLE: weights exceed the memory budget")
+        return "\n".join(lines)
+    lines.append(f"  KV budget: {format_bytes(kv_budget)}")
+    lines.append(
+        f"  KV per token: generator {generator.kv_bytes_per_token} B, "
+        f"verifier {verifier.kv_bytes_per_token} B"
+    )
+
+    dataset = build_dataset(dataset_name, seed=0, size=1)
+    profile = WorkloadProfile.from_dataset(dataset, n)
+    allocator = RooflineAllocator(
+        verifier, generator, Roofline(device), OffloadLink(device)
+    )
+    plan = allocator.best_plan(profile, kv_budget, allow_offload=True)
+    strategy = "offload" if plan.offload else "partition"
+    lines.append(
+        f"  allocator plan (n={n}, {dataset_name}): {strategy}, "
+        f"B_pre={plan.b_pre}, B_dec={plan.b_dec}, "
+        f"verifier KV {format_bytes(plan.kv_pre_bytes)}, "
+        f"generator KV {format_bytes(plan.kv_dec_bytes)}"
+    )
+
+    rows = []
+    for point in operating_points(generator, device):
+        rows.append([
+            f"generator {point.stage}", point.batch_size,
+            "compute" if point.compute_bound else "memory",
+            round(point.latency_s * 1e3, 2),
+            round(point.tokens_per_s, 1),
+        ])
+    table = render_table(
+        ["stage", "batch", "bound by", "latency ms", "tokens/s"],
+        rows,
+        title="generator operating points (seq 512)",
+    )
+    return "\n".join(lines) + "\n" + table

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    List registered devices, models, datasets, and search algorithms.
+``solve``
+    Serve one problem and print the FastTTS-vs-baseline comparison.
+``report``
+    Deployment feasibility + roofline report for a config on a device.
+``straggler``
+    Analytical idle-fraction table (why speculation has room to work).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.reports import deployment_report
+from repro.analysis.straggler import idle_fraction
+from repro.core.config import baseline_config, fasttts_config
+from repro.core.server import TTSServer
+from repro.hardware.device import list_devices
+from repro.models.zoo import list_models
+from repro.search.registry import build_algorithm, list_algorithms
+from repro.utils.tables import render_table
+from repro.workloads.datasets import DATASET_PROFILES, build_dataset, list_datasets
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print("devices:   " + ", ".join(list_devices()))
+    print("models:    " + ", ".join(list_models()))
+    print("datasets:  " + ", ".join(list_datasets()))
+    print("algorithms:" + " " + ", ".join(list_algorithms()))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    dataset = build_dataset(args.dataset, seed=args.seed, size=max(1, args.problem + 1))
+    problem = list(dataset)[args.problem]
+    algorithm = build_algorithm(args.algorithm, args.n)
+    rows = []
+    for label, factory in (("baseline", baseline_config), ("fasttts", fasttts_config)):
+        config = factory(
+            device_name=args.device,
+            model_config=args.config,
+            memory_fraction=args.memory_fraction,
+            seed=args.seed,
+        )
+        result = TTSServer(config, dataset).solve(problem, algorithm)
+        rows.append([
+            label,
+            round(result.goodput, 1),
+            round(result.latency.total, 1),
+            round(result.latency.generation, 1),
+            round(result.latency.verification, 1),
+            result.top1_correct,
+        ])
+    print(render_table(
+        ["system", "goodput tok/s", "latency s", "gen s", "verify s", "top1"],
+        rows,
+        title=(f"{problem.problem_id} | {args.config} on {args.device} "
+               f"| {args.algorithm} n={args.n}"),
+    ))
+    gain = rows[1][1] / rows[0][1] if rows[0][1] else float("inf")
+    print(f"goodput gain: {gain:.2f}x")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(deployment_report(
+        model_config=args.config,
+        device_name=args.device,
+        memory_fraction=args.memory_fraction,
+        dataset_name=args.dataset,
+        n=args.n,
+    ))
+    return 0
+
+
+def _cmd_straggler(args: argparse.Namespace) -> int:
+    profile = DATASET_PROFILES[args.dataset]
+    rows = [
+        [batch, round(idle_fraction(profile.step_model, batch) * 100, 1)]
+        for batch in (1, 4, 16, 64, 256)
+    ]
+    print(render_table(
+        ["batch size", "expected idle slot-time %"],
+        rows,
+        title=f"straggler idle fraction ({args.dataset} step lengths)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FastTTS reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list devices/models/datasets/algorithms")
+
+    solve = sub.add_parser("solve", help="serve one problem on both systems")
+    solve.add_argument("--dataset", default="aime24", choices=list_datasets())
+    solve.add_argument("--problem", type=int, default=0)
+    solve.add_argument("--config", default="1.5B+1.5B")
+    solve.add_argument("--device", default="rtx4090", choices=list_devices())
+    solve.add_argument("--algorithm", default="beam_search",
+                       choices=list_algorithms())
+    solve.add_argument("-n", type=int, default=16)
+    solve.add_argument("--memory-fraction", type=float, default=0.4)
+    solve.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser("report", help="deployment feasibility report")
+    report.add_argument("--config", default="1.5B+1.5B")
+    report.add_argument("--device", default="rtx4090", choices=list_devices())
+    report.add_argument("--dataset", default="aime24", choices=list_datasets())
+    report.add_argument("-n", type=int, default=64)
+    report.add_argument("--memory-fraction", type=float, default=0.9)
+
+    straggler = sub.add_parser("straggler", help="idle-fraction analysis")
+    straggler.add_argument("--dataset", default="aime24", choices=list_datasets())
+
+    return parser
+
+
+_HANDLERS = {
+    "info": _cmd_info,
+    "solve": _cmd_solve,
+    "report": _cmd_report,
+    "straggler": _cmd_straggler,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

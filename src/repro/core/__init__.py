@@ -1,0 +1,52 @@
+"""FastTTS core: the paper's contribution and the baseline it replaces."""
+
+from repro.core.allocator import (
+    AllocationPlan,
+    RooflineAllocator,
+    WorkloadProfile,
+    static_split_plan,
+)
+from repro.core.config import OffloadMode, ServerConfig, baseline_config, fasttts_config
+from repro.core.generation_round import (
+    ChildStepPlan,
+    GenerationRound,
+    GenerationRoundResult,
+)
+from repro.core.prefix_sched import (
+    eviction_cost,
+    greedy_order,
+    lineage_order,
+    random_order,
+    schedule_tries,
+    worst_case_order,
+)
+from repro.core.server import SolveOutcome, TTSServer
+from repro.core.spec_select import SelectSpec, SpecCandidate, speculative_potential
+from repro.core.verification_round import VerificationRound, VerificationRoundResult
+
+__all__ = [
+    "ServerConfig",
+    "OffloadMode",
+    "baseline_config",
+    "fasttts_config",
+    "TTSServer",
+    "SolveOutcome",
+    "AllocationPlan",
+    "WorkloadProfile",
+    "RooflineAllocator",
+    "static_split_plan",
+    "GenerationRound",
+    "GenerationRoundResult",
+    "ChildStepPlan",
+    "VerificationRound",
+    "VerificationRoundResult",
+    "SelectSpec",
+    "SpecCandidate",
+    "speculative_potential",
+    "greedy_order",
+    "lineage_order",
+    "random_order",
+    "worst_case_order",
+    "schedule_tries",
+    "eviction_cost",
+]

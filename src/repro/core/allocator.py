@@ -1,0 +1,341 @@
+"""Asymmetric Multi-Model Memory Allocation (paper Sec. 4.3).
+
+The generator (decode, memory-bandwidth-bound) and verifier (prefill,
+compute-bound) share one KV budget but have wildly different throughput
+sensitivity to it (Fig. 6). The roofline-guided search below reproduces the
+paper's formulation:
+
+    T_tot = ceil(N / B_pre) * T_roof_pre(B_pre, S)
+          + ceil(N / B_dec) * S_dec * T_roof_dec(B_dec, S_cache)
+
+subject to  B_pre * KVBytes_pre(1, S) + B_dec * KVBytes_dec(1, S_ctx) <= M,
+
+solved by exhaustive linear search over integer B_pre (the optimum lies on
+the budget boundary because stage latency is monotone in memory); ties
+favour the decode batch. The offloading extension (Sec. 4.3.2) relaxes the
+coupled constraint into two independent ones and charges PCIe swap time,
+and the policy picks whichever strategy is faster.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CapacityError
+from repro.hardware.offload import OffloadLink
+from repro.hardware.roofline import Roofline
+from repro.models.costs import decode_step_cost, prefill_cost
+from repro.models.spec import ModelSpec
+from repro.workloads.problem import Dataset
+
+__all__ = ["WorkloadProfile", "AllocationPlan", "RooflineAllocator", "static_split_plan"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """Expected per-iteration workload shape for allocation planning.
+
+    Attributes
+    ----------
+    n_requests:
+        N — beams processed per TTS iteration.
+    verify_tokens:
+        S — new tokens one verification request prefills.
+    decode_tokens:
+        S_dec — tokens one beam decodes per iteration (mean step length).
+    decode_context:
+        Per-sequence resident KV footprint in tokens while decoding
+        (prompt + accumulated steps + the growing step).
+    """
+
+    n_requests: int
+    verify_tokens: int
+    decode_tokens: int
+    decode_context: int
+    max_path_tokens: int
+
+    def __post_init__(self) -> None:
+        for name in ("n_requests", "verify_tokens", "decode_tokens",
+                     "decode_context", "max_path_tokens"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.max_path_tokens < self.decode_context:
+            raise ValueError("max_path_tokens must cover the decode context")
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset, n: int) -> "WorkloadProfile":
+        """Plan from dataset statistics: mean step length and mid-search depth.
+
+        ``verify_tokens`` (the paper's S) is the expected *full path* length
+        a verification request carries — the discriminative PRM re-reads the
+        whole reasoning path. ``max_path_tokens`` bounds the worst-case
+        single path (hard step caps times max depth), the floor below which
+        a KV partition cannot serve even one request.
+        """
+        step = int(dataset.step_model.mean_tokens)
+        mid_depth = max(1, (dataset.min_steps + dataset.max_steps) // 2)
+        prompt = 128  # planning constant; actual prompts vary per problem
+        path = prompt + step * mid_depth
+        # Worst case includes paged-block fragmentation: every segment
+        # (prompt + one per step) rounds up to a 16-token block boundary.
+        fragmentation = 16 * (dataset.max_steps + 2)
+        worst = (
+            2 * prompt
+            + dataset.step_model.max_tokens * dataset.max_steps
+            + fragmentation
+        )
+        return cls(
+            n_requests=max(1, n),
+            verify_tokens=path,
+            decode_tokens=step,
+            decode_context=path,
+            max_path_tokens=max(worst, path),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class AllocationPlan:
+    """One memory-partition decision."""
+
+    b_pre: int
+    b_dec: int
+    kv_pre_bytes: int
+    kv_dec_bytes: int
+    est_total_time: float
+    offload: bool = False
+    est_offload_overhead: float = 0.0
+
+    @property
+    def kv_total_bytes(self) -> int:
+        """Bytes the plan consumes at once on-device.
+
+        Under offloading only one model's KV is resident at a time, so the
+        device-resident footprint is the max, not the sum.
+        """
+        if self.offload:
+            return max(self.kv_pre_bytes, self.kv_dec_bytes)
+        return self.kv_pre_bytes + self.kv_dec_bytes
+
+
+def _estimate_total_time(
+    verifier: ModelSpec,
+    generator: ModelSpec,
+    roofline: Roofline,
+    profile: WorkloadProfile,
+    b_pre: int,
+    b_dec: int,
+) -> float:
+    """The paper's T_tot for one candidate (B_pre, B_dec) pair."""
+    pre_cost = prefill_cost(verifier, b_pre, profile.verify_tokens)
+    t_pre = math.ceil(profile.n_requests / b_pre) * roofline.latency(
+        pre_cost.flops, pre_cost.bytes
+    )
+    # Average cache length during decoding ~ context + S_dec / 2.
+    avg_cache = profile.decode_context - profile.decode_tokens / 2.0
+    dec_cost = decode_step_cost(generator, b_dec, max(avg_cache, 1.0))
+    t_dec = (
+        math.ceil(profile.n_requests / b_dec)
+        * profile.decode_tokens
+        * roofline.latency(dec_cost.flops, dec_cost.bytes)
+    )
+    return t_pre + t_dec
+
+
+def _per_seq_bytes(model: ModelSpec, tokens: int) -> int:
+    return tokens * model.kv_bytes_per_token
+
+
+def _floors(
+    verifier: ModelSpec, generator: ModelSpec, profile: WorkloadProfile
+) -> tuple[int, int]:
+    """Minimum KV bytes each worker needs to host one worst-case path."""
+    return (
+        _per_seq_bytes(verifier, profile.max_path_tokens),
+        _per_seq_bytes(generator, profile.max_path_tokens),
+    )
+
+
+def static_split_plan(
+    verifier: ModelSpec,
+    generator: ModelSpec,
+    roofline: Roofline,
+    profile: WorkloadProfile,
+    kv_budget_bytes: int,
+) -> AllocationPlan:
+    """The baseline's naive partition: two instances, half the KV each.
+
+    The halves are shifted only as far as needed to respect the worst-case
+    single-path floor on each side — a real deployment would likewise bump
+    ``gpu_memory_utilization`` until one request fits.
+    """
+    if kv_budget_bytes <= 0:
+        raise CapacityError("no KV budget left after weights")
+    floor_pre, floor_dec = _floors(verifier, generator, profile)
+    if floor_pre + floor_dec > kv_budget_bytes:
+        raise CapacityError(
+            "KV budget cannot host one worst-case path per worker; "
+            "use offloading or a smaller model pair"
+        )
+    kv_pre = min(max(kv_budget_bytes // 2, floor_pre), kv_budget_bytes - floor_dec)
+    kv_dec = kv_budget_bytes - kv_pre
+    b_pre = max(1, kv_pre // _per_seq_bytes(verifier, profile.verify_tokens))
+    b_dec = max(1, kv_dec // _per_seq_bytes(generator, profile.decode_context))
+    b_pre = min(b_pre, profile.n_requests)
+    b_dec = min(b_dec, profile.n_requests)
+    return AllocationPlan(
+        b_pre=b_pre,
+        b_dec=b_dec,
+        kv_pre_bytes=kv_pre,
+        kv_dec_bytes=kv_dec,
+        est_total_time=_estimate_total_time(
+            verifier, generator, roofline, profile, b_pre, b_dec
+        ),
+    )
+
+
+class RooflineAllocator:
+    """The paper's allocator: linear search over the budget boundary."""
+
+    def __init__(
+        self,
+        verifier: ModelSpec,
+        generator: ModelSpec,
+        roofline: Roofline,
+        offload_link: OffloadLink | None = None,
+        swaps_per_iteration: int = 2,
+    ) -> None:
+        self._verifier = verifier
+        self._generator = generator
+        self._roofline = roofline
+        self._link = offload_link
+        self._swaps = swaps_per_iteration
+
+    def search(self, profile: WorkloadProfile, kv_budget_bytes: int) -> AllocationPlan:
+        """Optimal coupled-constraint plan (no offloading)."""
+        if kv_budget_bytes <= 0:
+            raise CapacityError("no KV budget left after weights")
+        floor_pre, floor_dec = _floors(self._verifier, self._generator, profile)
+        if floor_pre + floor_dec > kv_budget_bytes:
+            raise CapacityError(
+                "KV budget cannot host one worst-case path per worker; "
+                "use offloading or a smaller model pair"
+            )
+        pre_seq = _per_seq_bytes(self._verifier, profile.verify_tokens)
+        dec_seq = _per_seq_bytes(self._generator, profile.decode_context)
+        max_pre = min(
+            profile.n_requests,
+            max(1, (kv_budget_bytes - floor_dec) // pre_seq),
+        )
+        best: AllocationPlan | None = None
+        for b_pre in range(1, max_pre + 1):
+            kv_pre = max(b_pre * pre_seq, floor_pre)
+            kv_dec = kv_budget_bytes - kv_pre
+            if kv_dec < floor_dec:
+                break
+            b_dec = min(kv_dec // dec_seq, profile.n_requests)  # paper Eq. (1)
+            if b_dec < 1:
+                break
+            t_tot = _estimate_total_time(
+                self._verifier, self._generator, self._roofline, profile, b_pre, b_dec
+            )
+            # Ties resolve in favour of the larger decode batch (the paper's
+            # rule); candidates iterate with growing b_pre, i.e. shrinking
+            # b_dec, so strict improvement is required to replace.
+            if best is None or t_tot < best.est_total_time:
+                best = AllocationPlan(
+                    b_pre=b_pre,
+                    b_dec=b_dec,
+                    kv_pre_bytes=kv_pre,
+                    kv_dec_bytes=kv_dec,
+                    est_total_time=t_tot,
+                )
+        if best is None:
+            # Degenerate budget: hand each side its floor.
+            kv_pre = floor_pre
+            return AllocationPlan(
+                b_pre=1,
+                b_dec=1,
+                kv_pre_bytes=kv_pre,
+                kv_dec_bytes=kv_budget_bytes - kv_pre,
+                est_total_time=_estimate_total_time(
+                    self._verifier, self._generator, self._roofline, profile, 1, 1
+                ),
+            )
+        return self._return_surplus(best, profile, pre_seq, dec_seq)
+
+    def _return_surplus(
+        self,
+        plan: AllocationPlan,
+        profile: WorkloadProfile,
+        pre_seq: int,
+        dec_seq: int,
+    ) -> AllocationPlan:
+        """Shift decode-side surplus back to the verifier.
+
+        When the decode batch already saturates the workload width, extra
+        generator KV buys nothing, while the verifier can use it to retain
+        path KV across iterations. This mirrors the paper's run-time
+        re-invocation of the allocator as system state changes: memory
+        follows whoever can still convert it into throughput.
+        """
+        if plan.b_dec < profile.n_requests:
+            return plan
+        surplus = plan.kv_dec_bytes - plan.b_dec * dec_seq
+        verifier_room = profile.n_requests * pre_seq - plan.kv_pre_bytes
+        # Keep at least 3/4 of the decode partition: the generator also
+        # retains the reasoning tree across iterations.
+        shift = min(surplus, plan.kv_dec_bytes // 4, max(verifier_room, 0))
+        if shift <= 0:
+            return plan
+        kv_pre = plan.kv_pre_bytes + shift
+        return AllocationPlan(
+            b_pre=min(max(1, kv_pre // pre_seq), profile.n_requests),
+            b_dec=plan.b_dec,
+            kv_pre_bytes=kv_pre,
+            kv_dec_bytes=plan.kv_dec_bytes - shift,
+            est_total_time=plan.est_total_time,
+        )
+
+    def search_offload(self, profile: WorkloadProfile, kv_budget_bytes: int) -> AllocationPlan:
+        """Relaxed independent-constraint plan plus PCIe swap overhead."""
+        if self._link is None:
+            raise CapacityError("offload search requires an OffloadLink")
+        if kv_budget_bytes <= 0:
+            raise CapacityError("no KV budget left after weights")
+        floor_pre, floor_dec = _floors(self._verifier, self._generator, profile)
+        if max(floor_pre, floor_dec) > kv_budget_bytes:
+            raise CapacityError(
+                "even with offloading, one worst-case path exceeds the KV budget"
+            )
+        pre_seq = _per_seq_bytes(self._verifier, profile.verify_tokens)
+        dec_seq = _per_seq_bytes(self._generator, profile.decode_context)
+        b_pre = min(profile.n_requests, max(1, kv_budget_bytes // pre_seq))
+        b_dec = min(profile.n_requests, max(1, kv_budget_bytes // dec_seq))
+        t_tot = _estimate_total_time(
+            self._verifier, self._generator, self._roofline, profile, b_pre, b_dec
+        )
+        swapped_pre = min(b_pre * pre_seq, kv_budget_bytes)
+        swapped_dec = min(b_dec * dec_seq, kv_budget_bytes)
+        overhead = self._swaps * self._link.swap_time(swapped_pre, swapped_dec)
+        return AllocationPlan(
+            b_pre=b_pre,
+            b_dec=b_dec,
+            kv_pre_bytes=kv_budget_bytes,
+            kv_dec_bytes=kv_budget_bytes,
+            est_total_time=t_tot + overhead,
+            offload=True,
+            est_offload_overhead=overhead,
+        )
+
+    def best_plan(
+        self, profile: WorkloadProfile, kv_budget_bytes: int, allow_offload: bool
+    ) -> AllocationPlan:
+        """The dual-strategy policy: pick the faster of the two searches."""
+        plan = self.search(profile, kv_budget_bytes)
+        if not allow_offload or self._link is None:
+            return plan
+        offload_plan = self.search_offload(profile, kv_budget_bytes)
+        if offload_plan.est_total_time < plan.est_total_time:
+            return offload_plan
+        return plan

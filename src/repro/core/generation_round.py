@@ -1,0 +1,475 @@
+"""The generation stage executor: Continuous Beam Batching + Speculative
+Beam Extension (paper Sec. 4.1, Algorithm 1).
+
+One TTS iteration's generation phase runs here as an event-driven decode
+loop. Between events the batch composition is constant, so time advances in
+*spans* of ``min(remaining)`` lockstep token steps costed by the roofline —
+an exact but O(events) simulation of per-token decoding.
+
+Two-phase scheduling (Sec. 4.1.2):
+
+* **Phase 1 — Continuous Beam Batching**: freed slots are refilled from the
+  waiting queue of thinking paths belonging to this request (both the
+  baseline and FastTTS do this; vLLM's continuous batching provides it).
+* **Phase 2 — Speculative Beam Extension** (FastTTS only): when the waiting
+  queue is empty, freed slots are filled with speculative continuations of
+  already-finished beams, chosen by :class:`~repro.core.spec_select.SelectSpec`.
+  Speculation is strictly terminated the moment the last standard beam
+  finishes — it can never add tail latency — and is fully preemptible via
+  the ``preempt_check`` hook.
+
+Algorithmic equivalence holds by construction: speculative tokens are drawn
+from the same keyed streams a future non-speculative execution would use,
+and verification never sees them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.engine.jobs import GenJob, GenOutcome, RoundStats, SpecHeadStart
+from repro.engine.telemetry import Phase
+from repro.engine.worker import GeneratorWorker
+from repro.errors import CapacityError, SchedulingError
+from repro.core.spec_select import SelectSpec
+
+__all__ = ["ChildStepPlan", "GenerationRound", "GenerationRoundResult"]
+
+# Resolves (parent lineage, child index) to the child's next-step identity,
+# or None when the child cannot exist (e.g. the parent's step was terminal).
+ChildPlanner = Callable[[tuple[int, ...], int], "ChildStepPlan | None"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChildStepPlan:
+    """What a speculative branch would generate for one prospective child."""
+
+    child_lineage: tuple[int, ...]
+    segment_id: int
+    parent_leaf_segment: int
+    n_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.n_tokens <= 0:
+            raise ValueError("n_tokens must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class GenerationRoundResult:
+    """Per-beam outcomes plus speculative head starts for the next round."""
+
+    outcomes: dict[tuple[int, ...], GenOutcome]
+    head_starts: dict[tuple[int, ...], SpecHeadStart]
+    stats: RoundStats
+
+
+@dataclass(slots=True)
+class _Pending:
+    """A waiting standard job (possibly re-queued after preemption)."""
+
+    job: GenJob
+    remaining: int
+    progress: int = 0  # tokens decoded before a preemption, if any
+
+
+@dataclass(slots=True)
+class _Slot:
+    """One occupied batch slot."""
+
+    segment: int
+    remaining: int
+    context_len: int
+    progress: int = 0
+    prior_progress: int = 0  # decoded in an earlier occupancy (preemption)
+    job: GenJob | None = None
+    spec_parent: tuple[int, ...] | None = None
+    spec_child: int = -1
+    spec_lineage: tuple[int, ...] | None = None
+
+    @property
+    def is_spec(self) -> bool:
+        return self.job is None
+
+
+class GenerationRound:
+    """Executes one generation stage over an ordered list of jobs."""
+
+    def __init__(
+        self,
+        worker: GeneratorWorker,
+        slot_budget: int,
+        speculation: bool = False,
+        branching_factor: int = 4,
+        child_planner: ChildPlanner | None = None,
+        preempt_check: Callable[[], bool] | None = None,
+        spec_bandwidth_fraction: float = 0.25,
+    ) -> None:
+        if slot_budget < 1:
+            raise ValueError("slot_budget must be positive")
+        if speculation and child_planner is None:
+            raise ValueError("speculation requires a child_planner")
+        if spec_bandwidth_fraction <= 0:
+            raise ValueError("spec_bandwidth_fraction must be positive")
+        self._worker = worker
+        self._slot_budget = slot_budget
+        self._speculation = speculation
+        self._branching = branching_factor
+        self._child_planner = child_planner
+        self._preempt_check = preempt_check
+        self._spec_bandwidth_fraction = spec_bandwidth_fraction
+
+    def run(self, jobs: list[GenJob]) -> GenerationRoundResult:
+        """Run the round; ``jobs`` must already be in scheduling order."""
+        stats = RoundStats()
+        outcomes: dict[tuple[int, ...], GenOutcome] = {}
+        heads: dict[tuple[int, ...], SpecHeadStart] = {}
+        if not jobs:
+            return GenerationRoundResult(outcomes, heads, stats)
+
+        start_time = self._worker.clock.now
+        waiting: deque[_Pending] = deque(
+            _Pending(job=j, remaining=j.remaining_tokens) for j in jobs
+        )
+        selector = SelectSpec(self._branching) if self._speculation else None
+        running: list[_Slot] = []
+        capacity = min(self._slot_budget, max(1, len(jobs)))
+        speculation_enabled = self._speculation
+
+        self._admit_standard(waiting, running, outcomes, stats, selector)
+        self._check_progress(running, waiting)
+
+        while running:
+            if self._preempt_check is not None and self._preempt_check():
+                # A new request arrived: Phase 2 halts immediately.
+                speculation_enabled = False
+                self._kill_spec_slots(running, heads, stats)
+                if not running and not waiting:
+                    break
+                if not running:
+                    self._admit_standard(waiting, running, outcomes, stats, selector)
+                    self._check_progress(running, waiting)
+                    continue
+
+            delta = min(slot.remaining for slot in running)
+            busy = len(running)
+            spec_slots = sum(1 for s in running if s.is_spec)
+            avg_cache = (
+                sum(s.context_len + s.progress for s in running) / busy + delta / 2.0
+            )
+            self._worker.decode_span(
+                n_steps=delta,
+                busy_slots=busy,
+                capacity_slots=capacity,
+                avg_cache_len=avg_cache,
+                speculative_slots=spec_slots,
+            )
+            self._grow_slots(running, waiting, heads, delta, stats)
+
+            still_running: list[_Slot] = []
+            for slot in running:
+                if slot.remaining > 0:
+                    still_running.append(slot)
+                elif slot.is_spec:
+                    self._finish_spec(slot, heads, stats)
+                else:
+                    self._finish_standard(slot, outcomes, stats, selector)
+            running = still_running
+
+            self._admit_standard(waiting, running, outcomes, stats, selector)
+            self._check_progress(running, waiting)
+            if speculation_enabled and not waiting and selector is not None:
+                self._fill_with_speculation(running, selector, stats, capacity)
+            if not waiting and running and all(s.is_spec for s in running):
+                # All standard beams done: strict speculative termination.
+                self._kill_spec_slots(running, heads, stats)
+                running = []
+
+        stats.round_time = self._worker.clock.now - start_time
+        stats.head_starts = list(heads.values())
+        return GenerationRoundResult(outcomes, heads, stats)
+
+    # -- admission and slot lifecycle --------------------------------------
+
+    @staticmethod
+    def _check_progress(running: list[_Slot], waiting: deque[_Pending]) -> None:
+        """Detect a stuck round: work waiting but nothing can be admitted."""
+        if waiting and not running:
+            raise SchedulingError(
+                "generation round stalled: the generator KV budget cannot "
+                "host even one waiting beam"
+            )
+
+    def _admit_standard(
+        self,
+        waiting: deque[_Pending],
+        running: list[_Slot],
+        outcomes: dict[tuple[int, ...], GenOutcome],
+        stats: RoundStats,
+        selector: SelectSpec | None,
+    ) -> None:
+        """Admit waiting beams into free slots, batching the prefill charge.
+
+        All beams admitted in one burst share a single batched prefill
+        launch for their missing KV (recompute after eviction, prompt
+        prefill on round 0) — as vLLM's chunked prefill would.
+        """
+        cache = self._worker.cache
+        burst: list[tuple[GenJob, int, int, _Pending]] = []  # job, missing, hit, pending
+        burst_slots = 0  # entries that will occupy a slot (remaining > 0)
+        claimed_blocks = 0  # growth already promised to this burst
+        while waiting and len(running) + burst_slots < self._slot_budget:
+            pending = waiting[0]
+            job = pending.job
+            register_chain(cache, job.path_segments, job.path_segment_tokens)
+            parent = job.path_segments[-1]
+            cache.register_segment(job.new_segment, parent, cache_token_len(cache, job))
+            needed, reclaimable = cache.path_block_demand(
+                job.new_segment, extra_tokens=pending.remaining
+            )
+            if claimed_blocks + needed > reclaimable:
+                break  # wave is full; wait for running beams to drain
+            claimed_blocks += needed
+            waiting.popleft()
+            outcome = cache.materialize(
+                job.new_segment, now=self._worker.clock.now, pin=True
+            )
+            stats.recomputed_tokens += outcome.recomputed_tokens
+            stats.cache_hit_tokens += outcome.hit_tokens
+            stats.evicted_segments += outcome.evicted_segments
+            burst.append(
+                (job, outcome.recomputed_tokens, outcome.hit_tokens, pending)
+            )
+            if pending.remaining > 0:
+                burst_slots += 1
+        if not burst:
+            return
+        self._worker.prefill_batch(
+            [missing for _, missing, _, _ in burst],
+            [hit for _, _, hit, _ in burst],
+            phase=Phase.GENERATION,
+            capacity_slots=self._slot_budget,
+        )
+        for job, _, _, pending in burst:
+            context = cache.tree.path_tokens(job.new_segment)
+            if pending.remaining == 0:
+                # Step already fully generated: a speculative head start,
+                # or a preempted beam whose decode had finished.
+                self._worker.release_path(job.new_segment)
+                outcomes[job.lineage] = GenOutcome(
+                    lineage=job.lineage,
+                    finish_time=self._worker.clock.now,
+                    tokens_generated=pending.progress,
+                )
+                if selector is not None and self._eligible_for_spec(job):
+                    selector.offer(job.lineage, job.prev_score)
+                continue
+            running.append(
+                _Slot(
+                    segment=job.new_segment,
+                    remaining=pending.remaining,
+                    context_len=context,
+                    prior_progress=pending.progress,
+                    job=job,
+                )
+            )
+
+    def _finish_standard(
+        self,
+        slot: _Slot,
+        outcomes: dict[tuple[int, ...], GenOutcome],
+        stats: RoundStats,
+        selector: SelectSpec | None,
+    ) -> None:
+        assert slot.job is not None
+        self._worker.release_path(slot.segment)
+        outcomes[slot.job.lineage] = GenOutcome(
+            lineage=slot.job.lineage,
+            finish_time=self._worker.clock.now,
+            tokens_generated=slot.prior_progress + slot.progress,
+        )
+        stats.decoded_tokens += slot.progress
+        if selector is not None and self._eligible_for_spec(slot.job):
+            selector.offer(slot.job.lineage, slot.job.prev_score)
+
+    def _eligible_for_spec(self, job: GenJob) -> bool:
+        if self._child_planner is None:
+            return False
+        return self._child_planner(job.lineage, 0) is not None
+
+    def _spec_slot_cap(self, running: list[_Slot]) -> int:
+        """Bound speculation by its marginal memory-bandwidth cost.
+
+        Straggler steps read the weights regardless; a speculative slot
+        only adds its KV traffic. Once the combined speculative KV reads
+        per step approach the weight traffic, speculation starts slowing
+        the straggler it is meant to hide, so slots are capped at
+        ``spec_bandwidth_fraction`` of the weight bytes. At small n this
+        cap is far above the free-slot count and never binds.
+        """
+        contexts = [s.context_len + s.progress for s in running if not s.is_spec]
+        avg_ctx = max(1.0, sum(contexts) / len(contexts)) if contexts else 512.0
+        bytes_per_spec_step = avg_ctx * self._worker.cache.kv_bytes_per_token
+        budget = self._spec_bandwidth_fraction * self._worker.model.weight_bytes
+        return max(1, int(budget / bytes_per_spec_step))
+
+    def _fill_with_speculation(
+        self,
+        running: list[_Slot],
+        selector: SelectSpec,
+        stats: RoundStats,
+        capacity: int,
+    ) -> None:
+        """Fill freed slots up to the round's batch width (never beyond:
+        the paper's policy maintains a constant batch size) and within the
+        marginal-bandwidth cap."""
+        assert self._child_planner is not None
+        spec_cap = self._spec_slot_cap(running)
+        while (
+            len(running) < min(self._slot_budget, capacity)
+            and sum(1 for s in running if s.is_spec) < spec_cap
+        ):
+            claim = selector.next_branch()
+            if claim is None:
+                return
+            parent_lineage, child_index = claim
+            plan = self._child_planner(parent_lineage, child_index)
+            if plan is None:
+                continue
+            cache = self._worker.cache
+            cache.register_segment(plan.segment_id, plan.parent_leaf_segment, 0)
+            if not cache.can_fit_path(plan.segment_id, extra_tokens=plan.n_tokens):
+                continue  # never evict standard work for speculation
+            try:
+                self._worker.cache.materialize(
+                    plan.segment_id, now=self._worker.clock.now, pin=True
+                )
+            except CapacityError:
+                continue
+            running.append(
+                _Slot(
+                    segment=plan.segment_id,
+                    remaining=plan.n_tokens,
+                    context_len=cache.tree.path_tokens(plan.segment_id),
+                    spec_parent=parent_lineage,
+                    spec_child=child_index,
+                    spec_lineage=plan.child_lineage,
+                )
+            )
+
+    def _finish_spec(
+        self,
+        slot: _Slot,
+        heads: dict[tuple[int, ...], SpecHeadStart],
+        stats: RoundStats,
+    ) -> None:
+        assert slot.spec_lineage is not None and slot.spec_parent is not None
+        self._worker.release_path(slot.segment)
+        stats.speculative_tokens += slot.progress
+        if slot.progress > 0:
+            heads[slot.spec_lineage] = SpecHeadStart(
+                parent_lineage=slot.spec_parent,
+                child_index=slot.spec_child,
+                tokens=slot.progress,
+                segment_id=slot.segment,
+            )
+
+    def _kill_spec_slots(
+        self,
+        running: list[_Slot],
+        heads: dict[tuple[int, ...], SpecHeadStart],
+        stats: RoundStats,
+    ) -> None:
+        """Terminate speculative slots, keeping partial progress as heads."""
+        for slot in [s for s in running if s.is_spec]:
+            self._finish_spec(slot, heads, stats)
+            running.remove(slot)
+
+    # -- decode-time KV growth ---------------------------------------------
+
+    def _grow_slots(
+        self,
+        running: list[_Slot],
+        waiting: deque[_Pending],
+        heads: dict[tuple[int, ...], SpecHeadStart],
+        delta: int,
+        stats: RoundStats,
+    ) -> None:
+        """Extend every running tail by ``delta`` tokens, preempting on OOM.
+
+        Victim policy mirrors vLLM recompute-mode preemption: speculative
+        slots die first (their progress is kept as a head start), then the
+        most recently admitted standard slot is pushed back to the waiting
+        queue — its generated text survives, so re-admission recomputes its
+        KV via prefill rather than re-decoding.
+        """
+        for slot in list(running):
+            if slot not in running:
+                continue  # preempted as a victim earlier in this span
+            while True:
+                try:
+                    self._worker.cache.extend_segment(
+                        slot.segment, delta, now=self._worker.clock.now
+                    )
+                    slot.progress += delta
+                    slot.remaining -= delta
+                    break
+                except CapacityError:
+                    victim = self._pick_victim(running, slot)
+                    if victim is None:
+                        raise SchedulingError(
+                            "decode batch cannot grow: a single sequence "
+                            "exceeds the generator KV budget"
+                        ) from None
+                    if victim.is_spec:
+                        self._finish_spec(victim, heads, stats)
+                    else:
+                        self._preempt_standard(victim, waiting, stats)
+                    running.remove(victim)
+
+    def _pick_victim(self, running: list[_Slot], protected: _Slot) -> _Slot | None:
+        for slot in reversed(running):
+            if slot is not protected and slot.is_spec:
+                return slot
+        for slot in reversed(running):
+            if slot is not protected:
+                return slot
+        return None
+
+    def _preempt_standard(
+        self, slot: _Slot, waiting: deque[_Pending], stats: RoundStats
+    ) -> None:
+        assert slot.job is not None
+        self._worker.release_path(slot.segment)
+        self._worker.cache.evict_path(slot.segment, now=self._worker.clock.now)
+        stats.decoded_tokens += slot.progress  # text exists; KV recomputes
+        waiting.appendleft(
+            _Pending(
+                job=slot.job,
+                remaining=slot.remaining,
+                progress=slot.prior_progress + slot.progress,
+            )
+        )
+
+
+def cache_token_len(cache, job: GenJob) -> int:
+    """Current registered length of the job's tail segment.
+
+    A head-started segment already exists (written by last round's
+    speculation) and keeps its length; a fresh segment starts empty.
+    """
+    if job.new_segment in cache.tree:
+        return cache.tree.get(job.new_segment).token_len
+    return job.head_start
+
+
+def register_chain(
+    cache, segments: tuple[int, ...], token_lens: tuple[int, ...]
+) -> None:
+    """Idempotently register a root->leaf segment chain."""
+    parent: int | None = None
+    for seg_id, tokens in zip(segments, token_lens):
+        if seg_id not in cache.tree:
+            cache.register_segment(seg_id, parent, tokens)
+        parent = seg_id

@@ -1,0 +1,105 @@
+"""SelectSPEC: speculative-candidate selection (paper Sec. 4.1.1).
+
+When a beam finishes its step early and the waiting queue is empty, its
+slot can speculate. Verifier scores between consecutive steps correlate, so
+the *previous* step's score is a zero-overhead proxy for whether the search
+will keep the beam — and therefore whether speculative work on its children
+will be useful.
+
+The policy partitions scores into ``B`` equal bins (``B`` = the search's
+branching factor); a beam whose score lands in bin ``C_j`` (``C_1`` highest)
+has speculative potential ``M_i = B - j + 1``: an upper bound on how many
+child continuations it may pre-generate, and its scheduling priority. Slots
+are filled lazily from the highest-potential finished beams.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+__all__ = ["speculative_potential", "SpecCandidate", "SelectSpec"]
+
+_DEFAULT_SCORE = 0.5  # first round has no verifier history: middle bin
+
+
+def speculative_potential(score: float | None, branching_factor: int) -> int:
+    """``M_i`` for a beam with previous-step ``score`` under ``B`` bins."""
+    if branching_factor < 1:
+        raise ValueError("branching_factor must be positive")
+    s = _DEFAULT_SCORE if score is None else score
+    if not 0.0 <= s <= 1.0:
+        raise ValueError("scores live in [0, 1]")
+    bin_j = min(branching_factor, int((1.0 - s) * branching_factor) + 1)
+    return branching_factor - bin_j + 1
+
+
+@dataclass(order=True)
+class SpecCandidate:
+    """One finished beam eligible for speculative extension.
+
+    Heap-ordered by descending potential, then FIFO arrival for stability.
+    """
+
+    sort_index: tuple[int, int] = field(init=False, repr=False)
+    lineage: tuple[int, ...] = field(compare=False)
+    potential: int = field(compare=False)
+    arrival: int = field(compare=False)
+    branches_started: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.potential < 0:
+            raise ValueError("potential must be non-negative")
+        self.sort_index = (-self.potential, self.arrival)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.branches_started >= self.potential
+
+
+class SelectSpec:
+    """Priority allocator of freed slots to speculative branches."""
+
+    def __init__(self, branching_factor: int) -> None:
+        if branching_factor < 1:
+            raise ValueError("branching_factor must be positive")
+        self._branching = branching_factor
+        self._heap: list[SpecCandidate] = []
+        self._arrivals = 0
+
+    @property
+    def branching_factor(self) -> int:
+        return self._branching
+
+    def offer(self, lineage: tuple[int, ...], prev_score: float | None) -> SpecCandidate:
+        """Register a newly finished beam as a speculative candidate."""
+        candidate = SpecCandidate(
+            lineage=lineage,
+            potential=speculative_potential(prev_score, self._branching),
+            arrival=self._arrivals,
+        )
+        self._arrivals += 1
+        if not candidate.exhausted:
+            heapq.heappush(self._heap, candidate)
+        return candidate
+
+    def next_branch(self) -> tuple[tuple[int, ...], int] | None:
+        """Claim one speculative slot: ``(parent lineage, child index)``.
+
+        Returns ``None`` when no candidate has remaining potential. The
+        same parent can be drawn repeatedly up to its ``M_i``.
+        """
+        while self._heap:
+            candidate = self._heap[0]
+            if candidate.exhausted:
+                heapq.heappop(self._heap)
+                continue
+            child_index = candidate.branches_started
+            candidate.branches_started += 1
+            if candidate.exhausted:
+                heapq.heappop(self._heap)
+            return candidate.lineage, child_index
+        return None
+
+    def __len__(self) -> int:
+        return sum(1 for c in self._heap if not c.exhausted)

@@ -1,0 +1,29 @@
+"""Serving engine substrate: clock, telemetry, jobs, and model workers."""
+
+from repro.engine.clock import SimClock
+from repro.engine.jobs import GenJob, GenOutcome, RoundStats, SpecHeadStart, VerifyJob
+from repro.engine.telemetry import (
+    Phase,
+    PhaseTimer,
+    TokenCounters,
+    UtilizationTracker,
+    UtilSpan,
+)
+from repro.engine.worker import GeneratorWorker, ModelWorker, VerifierWorker
+
+__all__ = [
+    "SimClock",
+    "Phase",
+    "PhaseTimer",
+    "TokenCounters",
+    "UtilizationTracker",
+    "UtilSpan",
+    "GenJob",
+    "GenOutcome",
+    "VerifyJob",
+    "SpecHeadStart",
+    "RoundStats",
+    "ModelWorker",
+    "GeneratorWorker",
+    "VerifierWorker",
+]

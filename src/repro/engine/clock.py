@@ -1,0 +1,39 @@
+"""Simulated wall clock.
+
+All latency in the reproduction is virtual: workers advance this clock by
+roofline-estimated durations. The clock is strictly monotonic; rewinding is
+a bug and raises immediately.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def reset(self, to: float = 0.0) -> None:
+        """Restart the clock (between independent problems)."""
+        if to < 0:
+            raise ValueError("reset time must be non-negative")
+        self._now = float(to)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now={self._now:.6f})"

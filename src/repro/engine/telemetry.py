@@ -1,0 +1,138 @@
+"""Execution telemetry: GPU-utilization spans and per-phase time accounting.
+
+Stands in for the paper's Nsight Systems traces (Fig. 4, Fig. 17 left): the
+simulator knows exactly how many batch slots are busy at every instant, so
+utilization is recorded as piecewise-constant spans and can be resampled
+onto any time grid for plotting or assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["Phase", "UtilSpan", "UtilizationTracker", "PhaseTimer", "TokenCounters"]
+
+
+class Phase(str, Enum):
+    GENERATION = "generation"
+    VERIFICATION = "verification"
+    SWAP = "swap"
+
+
+@dataclass(frozen=True, slots=True)
+class UtilSpan:
+    """One interval of constant batch occupancy."""
+
+    t_start: float
+    t_end: float
+    busy_slots: int
+    capacity_slots: int
+    phase: Phase
+    speculative_slots: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def utilization(self) -> float:
+        if self.capacity_slots == 0:
+            return 0.0
+        return self.busy_slots / self.capacity_slots
+
+
+class UtilizationTracker:
+    """Collects occupancy spans and answers aggregate/trace queries."""
+
+    def __init__(self) -> None:
+        self._spans: list[UtilSpan] = []
+
+    @property
+    def spans(self) -> list[UtilSpan]:
+        return list(self._spans)
+
+    def record(self, span: UtilSpan) -> None:
+        if span.t_end < span.t_start:
+            raise ValueError("span must have t_end >= t_start")
+        if span.busy_slots < 0 or span.busy_slots > span.capacity_slots:
+            raise ValueError("busy_slots must be within [0, capacity_slots]")
+        if span.duration > 0:
+            self._spans.append(span)
+
+    def mean_utilization(self, phase: Phase | None = None) -> float:
+        """Time-weighted mean occupancy, optionally for one phase."""
+        spans = [s for s in self._spans if phase is None or s.phase is phase]
+        total = sum(s.duration for s in spans)
+        if total == 0:
+            return 0.0
+        return sum(s.utilization * s.duration for s in spans) / total
+
+    def sample_trace(
+        self, t_start: float, t_end: float, n_points: int, phase: Phase | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resample occupancy onto a uniform grid (for Fig. 4 / Fig. 17)."""
+        if n_points <= 1:
+            raise ValueError("n_points must be > 1")
+        if t_end <= t_start:
+            raise ValueError("t_end must exceed t_start")
+        grid = np.linspace(t_start, t_end, n_points)
+        values = np.zeros(n_points)
+        spans = [s for s in self._spans if phase is None or s.phase is phase]
+        for span in spans:
+            mask = (grid >= span.t_start) & (grid < span.t_end)
+            values[mask] = span.utilization
+        return grid, values
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulated simulated seconds per execution phase."""
+
+    totals: dict[Phase, float] = field(default_factory=dict)
+
+    def add(self, phase: Phase, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        self.totals[phase] = self.totals.get(phase, 0.0) + dt
+
+    def get(self, phase: Phase) -> float:
+        return self.totals.get(phase, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def clear(self) -> None:
+        self.totals.clear()
+
+
+@dataclass
+class TokenCounters:
+    """Where generated tokens ended up — feeds the goodput analysis.
+
+    ``committed`` tokens are part of a beam's accepted reasoning;
+    ``speculative_used`` were generated speculatively and later adopted as a
+    head start; ``speculative_wasted`` were discarded at round end.
+    """
+
+    committed: int = 0
+    speculative_used: int = 0
+    speculative_wasted: int = 0
+    recomputed: int = 0
+
+    @property
+    def total_generated(self) -> int:
+        return self.committed + self.speculative_used + self.speculative_wasted
+
+    @property
+    def speculation_efficiency(self) -> float:
+        spec = self.speculative_used + self.speculative_wasted
+        if spec == 0:
+            return 0.0
+        return self.speculative_used / spec

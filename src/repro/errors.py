@@ -1,0 +1,33 @@
+"""Exception hierarchy for the FastTTS reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single except clause while still
+letting programming errors (``TypeError``, ``ValueError`` from misuse of the
+standard library) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class CapacityError(ReproError):
+    """A memory pool or batch could not satisfy an allocation request."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler was driven into an inconsistent state."""
+
+
+class SearchError(ReproError):
+    """A test-time-scaling search algorithm failed or was misconfigured."""
+
+
+class ModelLookupError(ReproError, KeyError):
+    """An unknown model or device name was requested from a registry."""

@@ -1,0 +1,112 @@
+"""Result export: JSONL logs and text tables, like the paper's artifact.
+
+The artifact appendix (B.6) says runs emit JSONL logs and figures under
+``benchmarks/benchmark_results/``. This module provides the same surface:
+each figure experiment's rows go to one JSONL file plus a rendered table,
+and an index file records what was produced.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["export_figure", "ResultsWriter", "DEFAULT_RESULTS_DIR"]
+
+DEFAULT_RESULTS_DIR = Path("benchmarks/benchmark_results")
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of experiment outputs to JSON-compatible data."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "tolist"):  # numpy arrays / scalars
+        return _jsonable(value.tolist())
+    return str(value)
+
+
+class ResultsWriter:
+    """Writes one experiment run's artifacts under a results directory."""
+
+    def __init__(self, results_dir: Path | str = DEFAULT_RESULTS_DIR) -> None:
+        self._dir = Path(results_dir)
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def write_rows(self, name: str, rows: list[list[Any]], header: list[str]) -> Path:
+        """Write rows as JSONL (one object per row) and return the path."""
+        self._dir.mkdir(parents=True, exist_ok=True)
+        path = self._dir / f"{name}.jsonl"
+        with path.open("w") as handle:
+            for row in rows:
+                record = {col: _jsonable(cell) for col, cell in zip(header, row)}
+                handle.write(json.dumps(record) + "\n")
+        return path
+
+    def write_table(self, name: str, table: str) -> Path:
+        """Write a rendered ASCII table next to the JSONL."""
+        self._dir.mkdir(parents=True, exist_ok=True)
+        path = self._dir / f"{name}.txt"
+        path.write_text(table + "\n")
+        return path
+
+    def write_index(self, entries: dict[str, dict[str, Any]]) -> Path:
+        """Write an index of all produced artifacts."""
+        self._dir.mkdir(parents=True, exist_ok=True)
+        path = self._dir / "index.json"
+        path.write_text(json.dumps(_jsonable(entries), indent=2) + "\n")
+        return path
+
+
+# Column headers for each figure's row format (mirrors figures.py outputs).
+_FIGURE_HEADERS: dict[str, list[str]] = {
+    "fig1b": ["n", "baseline_latency_s", "fasttts_latency_s",
+              "baseline_acc", "fasttts_acc"],
+    "fig3_left": ["method", "latency_s", "top1_acc"],
+    "fig3_right": ["step", "avg_tokens", "max_tokens"],
+    "fig5": ["iteration", "beams_cached", "beams_no_cache"],
+    "fig10": ["kv_budget_gb", "b_pre", "b_dec", "norm_throughput"],
+    "fig11": ["variant", "n", "baseline_tok_s", "fasttts_tok_s", "gain_x"],
+    "fig12": ["config", "dataset", "algorithm", "n", "baseline_tok_s",
+              "fasttts_tok_s", "gain_x", "latency_saved_pct"],
+    "fig13": ["config", "dataset", "n", "baseline_s", "fasttts_s",
+              "latency_saved_pct", "gen_saved_pct", "verifier_saved_pct"],
+    "fig14_top1": ["config", "dataset", "baseline_top1", "fasttts_top1"],
+    "fig14_pass": ["config", "dataset", "N", "baseline_pass", "fasttts_pass"],
+    "fig15": ["device", "dataset", "n", "baseline_tok_s", "fasttts_tok_s",
+              "gain_x"],
+    "fig16": ["config", "p_gain_pct", "mp_gain_pct", "smp_gain_pct"],
+    "fig17": ["dataset", "R", "goodput_tok_s"],
+    "fig18": ["order", "evictions_tight", "evictions_mid", "evictions_ample"],
+}
+
+
+def export_figure(
+    name: str,
+    output: dict,
+    writer: ResultsWriter,
+    rows_key: str = "rows",
+    table_key: str = "table",
+) -> dict[str, str]:
+    """Persist one figure experiment's output; returns produced paths."""
+    produced: dict[str, str] = {}
+    rows = output.get(rows_key)
+    if rows:
+        header = _FIGURE_HEADERS.get(
+            name, [f"col{i}" for i in range(len(rows[0]))]
+        )
+        produced["jsonl"] = str(writer.write_rows(name, rows, header))
+    table = output.get(table_key)
+    if table:
+        produced["table"] = str(writer.write_table(name, table))
+    return produced

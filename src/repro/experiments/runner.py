@@ -1,0 +1,147 @@
+"""Experiment orchestration shared by the benchmark harness and examples.
+
+One :class:`ExperimentSpec` names everything a run needs; ``run_metrics``
+executes it and aggregates; ``run_pair`` produces the baseline-vs-FastTTS
+comparison almost every figure reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import ServerConfig, baseline_config, fasttts_config
+from repro.core.server import TTSServer
+from repro.metrics.report import ProblemRunResult, RunMetrics
+from repro.search.registry import build_algorithm
+from repro.workloads.datasets import build_dataset
+from repro.workloads.problem import Dataset
+
+__all__ = ["ExperimentSpec", "run_metrics", "run_pair", "PairResult", "MEMORY_FRACTIONS"]
+
+# The paper's per-configuration memory settings (Sec. 6.1): the two heavy
+# pairings get 90% of GPU memory to test throughput limits; the 1.5B+1.5B
+# pairing is deliberately restricted to 40% to emulate scarce memory.
+MEMORY_FRACTIONS = {
+    "1.5B+1.5B": 0.40,
+    "1.5B+7B": 0.90,
+    "7B+1.5B": 0.90,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentSpec:
+    """One serving experiment: workload x algorithm x system."""
+
+    dataset_name: str = "aime24"
+    dataset_size: int = 2
+    model_config: str = "1.5B+1.5B"
+    device_name: str = "rtx4090"
+    algorithm: str = "beam_search"
+    n: int = 16
+    seed: int = 0
+    memory_fraction: float | None = None  # None = the paper's per-config value
+    algorithm_kwargs: dict = field(default_factory=dict)
+
+    def resolve_memory_fraction(self) -> float:
+        if self.memory_fraction is not None:
+            return self.memory_fraction
+        return MEMORY_FRACTIONS.get(self.model_config, 0.9)
+
+    def build_dataset(self) -> Dataset:
+        return build_dataset(self.dataset_name, seed=self.seed, size=self.dataset_size)
+
+    def build_config(self, fast: bool, **overrides) -> ServerConfig:
+        base_kwargs = dict(
+            device_name=self.device_name,
+            model_config=self.model_config,
+            memory_fraction=self.resolve_memory_fraction(),
+            seed=self.seed,
+        )
+        base_kwargs.update(overrides)
+        return fasttts_config(**base_kwargs) if fast else baseline_config(**base_kwargs)
+
+
+def run_metrics(
+    spec: ExperimentSpec,
+    config: ServerConfig,
+    dataset: Dataset | None = None,
+) -> tuple[RunMetrics, list[ProblemRunResult]]:
+    """Run one server over the spec's dataset and aggregate."""
+    data = dataset if dataset is not None else spec.build_dataset()
+    server = TTSServer(config, data)
+    algorithm = build_algorithm(spec.algorithm, spec.n, **spec.algorithm_kwargs)
+    results = server.run(list(data), algorithm)
+    return RunMetrics.aggregate(results), results
+
+
+@dataclass(frozen=True, slots=True)
+class PairResult:
+    """Baseline vs FastTTS on the same workload."""
+
+    spec: ExperimentSpec
+    baseline: RunMetrics
+    fasttts: RunMetrics
+
+    @property
+    def goodput_gain(self) -> float:
+        if self.baseline.goodput == 0:
+            return float("inf")
+        return self.fasttts.goodput / self.baseline.goodput
+
+    @property
+    def latency_reduction(self) -> float:
+        """Fractional end-to-end latency saved by FastTTS (0..1)."""
+        if self.baseline.latency.total == 0:
+            return 0.0
+        return 1.0 - self.fasttts.latency.total / self.baseline.latency.total
+
+    @property
+    def verifier_latency_reduction(self) -> float:
+        if self.baseline.latency.verification == 0:
+            return 0.0
+        return 1.0 - (
+            self.fasttts.latency.verification / self.baseline.latency.verification
+        )
+
+    @property
+    def generator_latency_reduction(self) -> float:
+        if self.baseline.latency.generation == 0:
+            return 0.0
+        return 1.0 - (
+            self.fasttts.latency.generation / self.baseline.latency.generation
+        )
+
+    def summary_row(self) -> list[object]:
+        return [
+            self.spec.model_config,
+            self.spec.dataset_name,
+            self.spec.algorithm,
+            self.spec.n,
+            round(self.baseline.goodput, 2),
+            round(self.fasttts.goodput, 2),
+            round(self.goodput_gain, 2),
+            round(self.latency_reduction * 100, 1),
+        ]
+
+
+def run_pair(
+    spec: ExperimentSpec,
+    baseline_overrides: dict | None = None,
+    fast_overrides: dict | None = None,
+) -> PairResult:
+    """Run the baseline and FastTTS on identical workloads."""
+    dataset = spec.build_dataset()
+    base_cfg = spec.build_config(fast=False, **(baseline_overrides or {}))
+    fast_cfg = spec.build_config(fast=True, **(fast_overrides or {}))
+    base_metrics, _ = run_metrics(spec, base_cfg, dataset)
+    fast_metrics, _ = run_metrics(spec, fast_cfg, dataset)
+    return PairResult(spec=spec, baseline=base_metrics, fasttts=fast_metrics)
+
+
+def sweep_n(
+    spec: ExperimentSpec,
+    n_values: list[int],
+    **pair_kwargs,
+) -> list[PairResult]:
+    """The figures' common x-axis: a sweep over the number of beams."""
+    return [run_pair(replace(spec, n=n), **pair_kwargs) for n in n_values]

@@ -1,0 +1,33 @@
+"""Hardware substrate: device specs, roofline model, memory ledger, offload."""
+
+from repro.hardware.device import (
+    A100_80GB,
+    H100_SXM,
+    RTX_3070_TI,
+    RTX_4070_TI,
+    RTX_4090,
+    DeviceSpec,
+    get_device,
+    list_devices,
+    register_device,
+)
+from repro.hardware.memory import MemoryLedger, MemoryReservation
+from repro.hardware.offload import OffloadLink
+from repro.hardware.roofline import Roofline, RooflinePoint
+
+__all__ = [
+    "DeviceSpec",
+    "get_device",
+    "list_devices",
+    "register_device",
+    "RTX_4090",
+    "RTX_4070_TI",
+    "RTX_3070_TI",
+    "A100_80GB",
+    "H100_SXM",
+    "Roofline",
+    "RooflinePoint",
+    "MemoryLedger",
+    "MemoryReservation",
+    "OffloadLink",
+]

@@ -1,0 +1,92 @@
+"""GPU memory ledger.
+
+Tracks how a device's usable VRAM is split between model weights, per-model
+KV cache partitions, and the reserved slice (Fig. 9 of the paper). The
+asymmetric allocator (Sec. 4.3) decides the KV split; this ledger enforces
+that the decision is feasible and answers "how much KV memory is left?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError
+from repro.hardware.device import DeviceSpec
+
+__all__ = ["MemoryLedger", "MemoryReservation"]
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryReservation:
+    """One named allocation inside the ledger."""
+
+    owner: str
+    kind: str  # "weights" | "kv"
+    num_bytes: int
+
+
+@dataclass
+class MemoryLedger:
+    """Accounting of VRAM across weights and KV partitions.
+
+    The ledger is intentionally strict: over-allocation raises
+    :class:`~repro.errors.CapacityError` instead of silently clamping,
+    because a real serving system would fail to initialize in the same
+    situation.
+    """
+
+    device: DeviceSpec
+    _reservations: dict[tuple[str, str], MemoryReservation] = field(default_factory=dict)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Usable VRAM (device capacity minus the reserved fraction)."""
+        return self.device.usable_bytes
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(r.num_bytes for r in self._reservations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.allocated_bytes
+
+    def reserve(self, owner: str, kind: str, num_bytes: int) -> MemoryReservation:
+        """Reserve ``num_bytes`` for ``(owner, kind)``.
+
+        Re-reserving the same key replaces the prior amount (the allocator
+        re-partitions KV at runtime when system state changes, Sec. 4.3.1).
+        """
+        if kind not in ("weights", "kv"):
+            raise ValueError("kind must be 'weights' or 'kv'")
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        key = (owner, kind)
+        previous = self._reservations.get(key)
+        available = self.free_bytes + (previous.num_bytes if previous else 0)
+        if num_bytes > available:
+            raise CapacityError(
+                f"cannot reserve {num_bytes} bytes for {owner}/{kind}: "
+                f"only {available} of {self.capacity_bytes} bytes available"
+            )
+        reservation = MemoryReservation(owner=owner, kind=kind, num_bytes=num_bytes)
+        self._reservations[key] = reservation
+        return reservation
+
+    def release(self, owner: str, kind: str) -> None:
+        """Drop a reservation; releasing a missing key is an error."""
+        try:
+            del self._reservations[(owner, kind)]
+        except KeyError:
+            raise CapacityError(f"no reservation for {owner}/{kind}") from None
+
+    def reserved_for(self, owner: str, kind: str) -> int:
+        """Bytes currently reserved under ``(owner, kind)`` (0 if none)."""
+        reservation = self._reservations.get((owner, kind))
+        return reservation.num_bytes if reservation else 0
+
+    def breakdown(self) -> dict[str, int]:
+        """Human-readable split: ``{"owner/kind": bytes, ..., "free": bytes}``."""
+        result = {f"{o}/{k}": r.num_bytes for (o, k), r in sorted(self._reservations.items())}
+        result["free"] = self.free_bytes
+        return result

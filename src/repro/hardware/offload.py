@@ -1,0 +1,50 @@
+"""Host<->device KV transfer model for the offloading strategy (Sec. 4.3.2).
+
+When GPU memory is extremely constrained (e.g. the 8 GB RTX 3070 Ti run in
+Fig. 15), FastTTS can offload the inactive model's KV cache to CPU memory,
+letting each model use the full GPU cache while it runs. The price is a
+PCIe transfer each time the active model switches. This module charges that
+price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import DeviceSpec
+
+__all__ = ["OffloadLink"]
+
+
+@dataclass(frozen=True, slots=True)
+class OffloadLink:
+    """Transfer cost model over the host link.
+
+    Attributes
+    ----------
+    device:
+        The accelerator whose PCIe bandwidth bounds the transfer.
+    fixed_latency:
+        Per-transfer setup cost in seconds (driver + DMA ring setup). A few
+        tens of microseconds on PCIe 4.0; it only matters for tiny KV sizes.
+    """
+
+    device: DeviceSpec
+    fixed_latency: float = 50e-6
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Seconds to move ``num_bytes`` one way across the link."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return self.fixed_latency + num_bytes / self.device.pcie_bandwidth
+
+    def swap_time(self, out_bytes: int, in_bytes: int) -> float:
+        """Seconds for an eviction + restore pair (not overlapped).
+
+        The paper's ``T_offload_overhead`` for one generator/verifier switch:
+        write the outgoing model's KV to host, then read the incoming
+        model's KV back.
+        """
+        return self.transfer_time(out_bytes) + self.transfer_time(in_bytes)

@@ -1,0 +1,89 @@
+"""Roofline latency model (paper Sec. 4.3.1).
+
+The paper estimates the latency of one batch in each stage as::
+
+    T_roof = max(FLOPs / P, Bytes / BW)
+
+where ``P`` is the device's peak compute and ``BW`` its peak memory
+bandwidth. The same model drives this reproduction's simulated clock: every
+engine step is costed by the roofline over the FLOPs/bytes of the batch it
+executes, which is what makes decode memory-bound (weight reads dominate)
+and prefill compute-bound — the asymmetry behind Fig. 6 and the asymmetric
+memory allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import DeviceSpec
+
+__all__ = ["Roofline", "RooflinePoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class RooflinePoint:
+    """One costed operation: where it lands on the roofline."""
+
+    flops: float
+    bytes: float
+    compute_time: float
+    memory_time: float
+
+    @property
+    def latency(self) -> float:
+        """The roofline latency: max of compute-bound and memory-bound time."""
+        return max(self.compute_time, self.memory_time)
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when compute, not bandwidth, limits this operation."""
+        return self.compute_time >= self.memory_time
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte moved (inf for pure-compute work)."""
+        if self.bytes == 0:
+            return float("inf")
+        return self.flops / self.bytes
+
+
+class Roofline:
+    """Latency estimator bound to one device.
+
+    An optional ``efficiency`` factor (0, 1] derates both peaks uniformly to
+    model achievable rather than theoretical throughput; it scales all
+    latencies equally and therefore never changes any comparison this
+    library makes.
+    """
+
+    def __init__(self, device: DeviceSpec, efficiency: float = 0.6) -> None:
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        self._device = device
+        self._efficiency = efficiency
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self._device
+
+    @property
+    def efficiency(self) -> float:
+        return self._efficiency
+
+    def point(self, flops: float, num_bytes: float) -> RooflinePoint:
+        """Cost one operation, returning the full roofline breakdown."""
+        if flops < 0 or num_bytes < 0:
+            raise ValueError("flops and bytes must be non-negative")
+        peak = self._device.peak_flops * self._efficiency
+        bandwidth = self._device.mem_bandwidth * self._efficiency
+        return RooflinePoint(
+            flops=flops,
+            bytes=num_bytes,
+            compute_time=flops / peak,
+            memory_time=num_bytes / bandwidth,
+        )
+
+    def latency(self, flops: float, num_bytes: float) -> float:
+        """Shorthand for ``point(...).latency``."""
+        return self.point(flops, num_bytes).latency

@@ -1,0 +1,471 @@
+"""Paged KV cache with prefix sharing, pinning and LRU eviction.
+
+This is the memory substrate both workers (generator and verifier) run on.
+It combines three structures:
+
+* a :class:`~repro.kvcache.block.BlockPool` enforcing the byte budget the
+  asymmetric allocator assigned to this worker;
+* a :class:`~repro.kvcache.radix.RadixTree` recording the reasoning tree,
+  where each node is one thinking-step *segment* shared by every beam that
+  descends from it (copy-free forking, as in vLLM prefix caching);
+* per-segment state: residency, pin count, held blocks, LRU stamp.
+
+Key invariants (property-tested):
+
+* a segment is resident only if its parent is resident — a KV suffix
+  without its prefix is useless to attention;
+* pinned segments (referenced by the currently executing batch) are never
+  evicted; eviction only consumes the unpinned leaf-most frontier in LRU
+  order;
+* block accounting is exact: the pool's allocated count always equals the
+  sum of blocks held by resident segments.
+
+Eviction forces recomputation later: :meth:`PagedKVCache.materialize`
+reports how many tokens of a path were cache hits and how many must be
+re-prefilled, which the engine converts to roofline time. Minimizing that
+recompute term is exactly the objective of Dynamic Prefix-Aware Scheduling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import CapacityError
+from repro.kvcache.block import DEFAULT_BLOCK_TOKENS, BlockPool, blocks_for_tokens
+from repro.kvcache.events import CacheEvent, CacheEventKind, CacheStats
+from repro.kvcache.radix import RadixTree
+
+__all__ = ["PagedKVCache", "MaterializeOutcome", "SegmentState"]
+
+
+@dataclass(slots=True)
+class SegmentState:
+    """Dynamic cache state of one registered segment."""
+
+    segment_id: int
+    token_len: int
+    resident: bool = False
+    pin_count: int = 0
+    blocks_held: int = 0
+    last_access: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class MaterializeOutcome:
+    """Result of making one path resident."""
+
+    hit_tokens: int
+    recomputed_tokens: int
+    evicted_segments: int
+
+    @property
+    def touched_tokens(self) -> int:
+        return self.hit_tokens + self.recomputed_tokens
+
+
+class PagedKVCache:
+    """Prefix-shared paged KV cache for one model worker."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        kv_bytes_per_token: int,
+        block_tokens: int = DEFAULT_BLOCK_TOKENS,
+        trace_capacity: int = 0,
+    ) -> None:
+        self._pool = BlockPool.from_bytes(capacity_bytes, kv_bytes_per_token, block_tokens)
+        self._kv_bytes_per_token = kv_bytes_per_token
+        self._tree = RadixTree()
+        self._segments: dict[int, SegmentState] = {}
+        self._resident_children: dict[int, set[int]] = {}
+        self._access_clock = 0
+        # Incremental eviction bookkeeping: total blocks held by resident,
+        # unpinned segments (always wholly evictable, because pins cover
+        # root->leaf chains) and a lazily-validated LRU candidate heap.
+        self._evictable_blocks = 0
+        self._resident_token_count = 0
+        self._evict_heap: list[tuple[int, int]] = []
+        self.stats = CacheStats(trace_capacity=trace_capacity)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def tree(self) -> RadixTree:
+        return self._tree
+
+    @property
+    def pool(self) -> BlockPool:
+        return self._pool
+
+    @property
+    def capacity_tokens(self) -> int:
+        return self._pool.capacity_tokens
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        return self._kv_bytes_per_token
+
+    @property
+    def resident_tokens(self) -> int:
+        return self._resident_token_count
+
+    @property
+    def evictable_blocks(self) -> int:
+        """Blocks reclaimable without touching pinned paths."""
+        return self._evictable_blocks
+
+    @property
+    def resident_segment_count(self) -> int:
+        return sum(1 for s in self._segments.values() if s.resident)
+
+    def is_resident(self, segment_id: int) -> bool:
+        state = self._segments.get(segment_id)
+        return state is not None and state.resident
+
+    def segment(self, segment_id: int) -> SegmentState:
+        try:
+            return self._segments[segment_id]
+        except KeyError:
+            raise KeyError(f"unknown segment {segment_id}") from None
+
+    # -- registration ----------------------------------------------------
+
+    def register_segment(
+        self, segment_id: int, parent_id: int | None, token_len: int
+    ) -> SegmentState:
+        """Register a (non-resident) segment in the reasoning tree.
+
+        Idempotent for identical attributes so that callers can re-register
+        shared prefixes freely.
+        """
+        if parent_id is not None and parent_id not in self._segments:
+            raise KeyError(f"parent segment {parent_id} is not registered")
+        self._tree.add_node(segment_id, parent_id, token_len)
+        existing = self._segments.get(segment_id)
+        if existing is not None:
+            return existing
+        state = SegmentState(segment_id=segment_id, token_len=token_len)
+        self._segments[segment_id] = state
+        return state
+
+    # -- pinning ---------------------------------------------------------
+
+    def pin_path(self, leaf_id: int) -> None:
+        """Protect every segment on the root->leaf path from eviction."""
+        for seg_id in self._tree.path(leaf_id):
+            state = self._segments[seg_id]
+            if state.pin_count == 0 and state.resident:
+                self._evictable_blocks -= state.blocks_held
+            state.pin_count += 1
+
+    def unpin_path(self, leaf_id: int) -> None:
+        """Release one pin along the root->leaf path."""
+        for seg_id in self._tree.path(leaf_id):
+            state = self._segments[seg_id]
+            if state.pin_count <= 0:
+                raise CapacityError(f"segment {seg_id} is not pinned")
+            state.pin_count -= 1
+            if state.pin_count == 0 and state.resident:
+                self._evictable_blocks += state.blocks_held
+                self._push_candidate(state)
+
+    # -- residency -------------------------------------------------------
+
+    def resident_prefix_tokens(self, leaf_id: int) -> int:
+        """Token mass of the longest resident root prefix of this path."""
+        tokens = 0
+        for seg_id in self._tree.path(leaf_id):
+            state = self._segments[seg_id]
+            if not state.resident:
+                break
+            tokens += state.token_len
+        return tokens
+
+    def missing_tokens(self, leaf_id: int) -> int:
+        """Tokens of the path that would need recomputation right now."""
+        return self._tree.path_tokens(leaf_id) - self.resident_prefix_tokens(leaf_id)
+
+    def materialize(self, leaf_id: int, now: float = 0.0, pin: bool = True) -> MaterializeOutcome:
+        """Make the root->leaf path fully resident.
+
+        Returns the hit/recompute split. Eviction of unpinned segments is
+        performed as needed; if the path cannot fit even after evicting
+        everything evictable, :class:`CapacityError` is raised and the cache
+        is left unchanged in block accounting (any evictions already applied
+        remain — as they would on real hardware).
+        """
+        path = self._tree.path(leaf_id)
+        self._access_clock += 1
+        stamp = self._access_clock
+
+        # Protect the chain under construction: without this, loading a
+        # deep suffix under memory pressure could evict the path's own hit
+        # prefix, silently breaking the residency invariant.
+        self.pin_path(leaf_id)
+
+        hit_tokens = 0
+        to_load: list[SegmentState] = []
+        broken = False
+        for seg_id in path:
+            state = self._segments[seg_id]
+            if state.resident and not broken:
+                hit_tokens += state.token_len
+                state.last_access = stamp
+            else:
+                # Residency invariant: once the chain breaks, everything
+                # below must be recomputed even if stale blocks linger.
+                broken = True
+                if state.resident:
+                    self._evict_segment(state, now)
+                to_load.append(state)
+
+        evicted = 0
+        recomputed = 0
+        try:
+            for state in to_load:
+                needed = blocks_for_tokens(state.token_len, self._pool.block_tokens)
+                evicted += self._ensure_free_blocks(needed, now)
+                self._pool.allocate(needed)
+                state.blocks_held = needed
+                state.resident = True
+                state.last_access = stamp
+                self._resident_token_count += state.token_len
+                self._mark_resident_child(state.segment_id)
+                recomputed += state.token_len
+                self.stats.record(
+                    CacheEvent(
+                        now, CacheEventKind.RECOMPUTE, state.segment_id, state.token_len
+                    )
+                )
+        except CapacityError:
+            self.unpin_path(leaf_id)
+            raise
+
+        if hit_tokens:
+            self.stats.record(CacheEvent(now, CacheEventKind.HIT, leaf_id, hit_tokens))
+        if not pin:
+            self.unpin_path(leaf_id)
+        return MaterializeOutcome(
+            hit_tokens=hit_tokens, recomputed_tokens=recomputed, evicted_segments=evicted
+        )
+
+    def extend_segment(self, segment_id: int, additional_tokens: int, now: float = 0.0) -> None:
+        """Grow a resident tail segment by ``additional_tokens``.
+
+        Used for the actively decoding step: block allocation happens only
+        when the growth crosses a block boundary, as in vLLM.
+        """
+        if additional_tokens < 0:
+            raise ValueError("additional_tokens must be non-negative")
+        state = self.segment(segment_id)
+        if not state.resident:
+            raise CapacityError(f"segment {segment_id} is not resident and cannot grow")
+        new_len = state.token_len + additional_tokens
+        needed = blocks_for_tokens(new_len, self._pool.block_tokens) - state.blocks_held
+        if needed > 0:
+            self._ensure_free_blocks(needed, now)
+            self._pool.allocate(needed)
+            state.blocks_held += needed
+            if state.pin_count == 0:
+                self._evictable_blocks += needed
+            self.stats.record(
+                CacheEvent(now, CacheEventKind.ALLOCATE, segment_id, additional_tokens)
+            )
+        self._resident_token_count += additional_tokens
+        state.token_len = new_len
+        self._tree.set_token_len(segment_id, new_len)
+        self._access_clock += 1
+        state.last_access = self._access_clock
+        if state.pin_count == 0:
+            self._push_candidate(state)
+
+    def truncate_segment(self, segment_id: int, new_len: int, now: float = 0.0) -> int:
+        """Shrink a segment to ``new_len`` tokens, freeing excess blocks.
+
+        Used when a duplicated beam keeps only a truncated fraction of its
+        speculative head start (paper Sec. 4.1, lines 18-19 of Alg. 1).
+        Returns the number of blocks freed.
+        """
+        if new_len < 0:
+            raise ValueError("new_len must be non-negative")
+        state = self.segment(segment_id)
+        if new_len > state.token_len:
+            raise ValueError("truncate cannot grow a segment")
+        if state.resident:
+            keep_blocks = blocks_for_tokens(new_len, self._pool.block_tokens)
+            freed = state.blocks_held - keep_blocks
+            if freed > 0:
+                self._pool.free(freed)
+                state.blocks_held = keep_blocks
+                if state.pin_count == 0:
+                    self._evictable_blocks -= freed
+            self._resident_token_count -= state.token_len - new_len
+        else:
+            freed = 0
+        state.token_len = new_len
+        self._tree.set_token_len(segment_id, new_len)
+        return freed
+
+    def can_fit_path(self, leaf_id: int, extra_tokens: int = 0) -> bool:
+        """Whether the path (plus planned growth) could be materialized now.
+
+        Counts free blocks plus everything evictable; pinned residency is
+        untouchable.
+        """
+        needed, reclaimable = self.path_block_demand(leaf_id, extra_tokens)
+        return needed <= reclaimable
+
+    def path_block_demand(
+        self, leaf_id: int, extra_tokens: int = 0
+    ) -> tuple[int, int]:
+        """``(needed_blocks, reclaimable_blocks)`` for materializing a path.
+
+        ``needed_blocks`` counts per-segment block rounding for every
+        missing segment plus the leaf's planned growth; ``reclaimable``
+        is free blocks plus everything evictable outside this path. The
+        schedulers use the pair for cumulative admission control.
+        """
+        block_tokens = self._pool.block_tokens
+        needed_blocks = 0
+        own_evictable = 0
+        broken = False
+        for seg_id in self._tree.path(leaf_id):
+            state = self._segments[seg_id]
+            is_leaf = seg_id == leaf_id
+            tokens = state.token_len + (extra_tokens if is_leaf else 0)
+            if state.resident and not broken:
+                if state.pin_count == 0:
+                    own_evictable += state.blocks_held
+                if is_leaf:
+                    # planned tail growth beyond currently held blocks
+                    needed_blocks += (
+                        blocks_for_tokens(tokens, block_tokens) - state.blocks_held
+                    )
+                continue
+            broken = True
+            # block rounding applies per segment, not to the token sum
+            needed_blocks += blocks_for_tokens(tokens, block_tokens)
+        reclaimable = self._pool.free_blocks + self._evictable_blocks - own_evictable
+        return needed_blocks, reclaimable
+
+    def evict_path(self, leaf_id: int, now: float = 0.0) -> int:
+        """Explicitly evict the unpinned resident suffix of a path.
+
+        Returns evicted segment count. Used by preemption.
+        """
+        evicted = 0
+        for seg_id in reversed(self._tree.path(leaf_id)):
+            state = self._segments[seg_id]
+            if not state.resident or state.pin_count > 0:
+                break
+            if self._resident_children.get(seg_id):
+                break  # shared with a still-resident sibling subtree
+            self._evict_segment(state, now)
+            evicted += 1
+        return evicted
+
+    def evict_all(self, now: float = 0.0) -> int:
+        """Evict every unpinned resident segment (leaf-first).
+
+        Models a serving stack without cross-call prefix caching (vLLM's
+        default): KV from one ``generate()`` call is gone by the next.
+        Returns the number of segments evicted.
+        """
+        evicted = 0
+        while self._evict_heap:
+            state = self._pop_candidate()
+            if state is None:
+                break
+            self._evict_segment(state, now)
+            evicted += 1
+        return evicted
+
+    def reset(self) -> None:
+        """Drop all segments (between problems; nothing is shared across)."""
+        for state in self._segments.values():
+            if state.resident:
+                self._pool.free(state.blocks_held)
+        self._segments.clear()
+        self._resident_children.clear()
+        self._tree = RadixTree()
+        self._evictable_blocks = 0
+        self._resident_token_count = 0
+        self._evict_heap.clear()
+
+    # -- eviction internals ----------------------------------------------
+
+    def _mark_resident_child(self, segment_id: int) -> None:
+        parent = self._tree.get(segment_id).parent_id
+        if parent is not None:
+            self._resident_children.setdefault(parent, set()).add(segment_id)
+
+    def _unmark_resident_child(self, segment_id: int) -> None:
+        parent = self._tree.get(segment_id).parent_id
+        if parent is not None:
+            children = self._resident_children.get(parent)
+            if children:
+                children.discard(segment_id)
+
+    def _evict_segment(self, state: SegmentState, now: float) -> None:
+        if state.pin_count == 0:
+            self._evictable_blocks -= state.blocks_held
+        self._resident_token_count -= state.token_len
+        self._pool.free(state.blocks_held)
+        state.blocks_held = 0
+        state.resident = False
+        self._unmark_resident_child(state.segment_id)
+        parent_id = self._tree.get(state.segment_id).parent_id
+        if parent_id is not None:
+            parent = self._segments[parent_id]
+            if parent.resident and parent.pin_count == 0:
+                self._push_candidate(parent)
+        self.stats.record(
+            CacheEvent(now, CacheEventKind.EVICT, state.segment_id, state.token_len)
+        )
+
+    def _is_evictable(self, state: SegmentState) -> bool:
+        return (
+            state.resident
+            and state.pin_count == 0
+            and not self._resident_children.get(state.segment_id)
+        )
+
+    def _push_candidate(self, state: SegmentState) -> None:
+        """Register a segment as a potential LRU eviction victim.
+
+        Entries are validated lazily at pop time, so pushing is always safe
+        and duplicates are fine."""
+        if self._is_evictable(state):
+            heapq.heappush(self._evict_heap, (state.last_access, state.segment_id))
+
+    def _pop_candidate(self) -> SegmentState | None:
+        """Pop the LRU-most currently-valid eviction victim."""
+        while self._evict_heap:
+            last_access, seg_id = heapq.heappop(self._evict_heap)
+            state = self._segments.get(seg_id)
+            if (
+                state is not None
+                and state.last_access == last_access
+                and self._is_evictable(state)
+            ):
+                return state
+        return None
+
+    def _ensure_free_blocks(self, n_blocks: int, now: float) -> int:
+        """Evict LRU victims until ``n_blocks`` are free.
+
+        Returns the number of segments evicted; raises
+        :class:`CapacityError` if pinned residency makes it impossible.
+        """
+        evicted = 0
+        while self._pool.free_blocks < n_blocks:
+            victim = self._pop_candidate()
+            if victim is None:
+                raise CapacityError(
+                    f"need {n_blocks} free blocks but only {self._pool.free_blocks} "
+                    "available and nothing is evictable (all pinned)"
+                )
+            self._evict_segment(victim, now)
+            evicted += 1
+        return evicted

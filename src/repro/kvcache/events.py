@@ -1,0 +1,65 @@
+"""KV cache event accounting.
+
+Counters and an optional event trace feed the memory-behaviour figures
+(Fig. 5 beams-in-memory, Fig. 18 KV growth by scheduling order) and the
+eviction/recompute costs charged by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["CacheEventKind", "CacheEvent", "CacheStats"]
+
+
+class CacheEventKind(str, Enum):
+    ALLOCATE = "allocate"
+    HIT = "hit"
+    EVICT = "evict"
+    RECOMPUTE = "recompute"
+    RELEASE = "release"
+
+
+@dataclass(frozen=True, slots=True)
+class CacheEvent:
+    """One cache transition, timestamped on the simulation clock."""
+
+    time: float
+    kind: CacheEventKind
+    segment_id: int
+    tokens: int
+
+
+@dataclass
+class CacheStats:
+    """Running totals plus an optional bounded trace."""
+
+    hit_tokens: int = 0
+    recomputed_tokens: int = 0
+    evicted_tokens: int = 0
+    evicted_segments: int = 0
+    allocated_tokens: int = 0
+    trace_capacity: int = 0
+    trace: list[CacheEvent] = field(default_factory=list)
+
+    def record(self, event: CacheEvent) -> None:
+        if event.kind is CacheEventKind.HIT:
+            self.hit_tokens += event.tokens
+        elif event.kind is CacheEventKind.RECOMPUTE:
+            self.recomputed_tokens += event.tokens
+        elif event.kind is CacheEventKind.EVICT:
+            self.evicted_tokens += event.tokens
+            self.evicted_segments += 1
+        elif event.kind is CacheEventKind.ALLOCATE:
+            self.allocated_tokens += event.tokens
+        if self.trace_capacity and len(self.trace) < self.trace_capacity:
+            self.trace.append(event)
+
+    @property
+    def hit_rate(self) -> float:
+        """Token-weighted prefix hit rate over all materializations."""
+        touched = self.hit_tokens + self.recomputed_tokens
+        if touched == 0:
+            return 0.0
+        return self.hit_tokens / touched

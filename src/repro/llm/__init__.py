@@ -1,0 +1,27 @@
+"""Simulated LLM layer: oracle, generator, PRM verifier, sampler, tokenizer."""
+
+from repro.llm.generator import SimulatedGenerator, StepPlan
+from repro.llm.oracle import (
+    QualityOracle,
+    generator_skill,
+    sigmoid,
+    verifier_noise_scale,
+)
+from repro.llm.sampler import apply_top_k, apply_top_p, sample_token, sample_tokens
+from repro.llm.tokenizer import SyntheticTokenizer
+from repro.llm.verifier import SimulatedPRM
+
+__all__ = [
+    "SimulatedGenerator",
+    "StepPlan",
+    "SimulatedPRM",
+    "QualityOracle",
+    "generator_skill",
+    "verifier_noise_scale",
+    "sigmoid",
+    "SyntheticTokenizer",
+    "sample_token",
+    "sample_tokens",
+    "apply_top_k",
+    "apply_top_p",
+]

@@ -1,0 +1,193 @@
+"""Latent quality model: the ground truth behind generation and verification.
+
+Real reasoning LLMs produce steps of varying *soundness*; a PRM observes
+that soundness noisily; final-answer correctness correlates with it. This
+module encodes that causal chain with three knobs per model:
+
+* **generator skill** — mean step soundness, scaling logarithmically with
+  parameter count (a 7B generator is meaningfully but not magically better
+  than a 1.5B one);
+* **verifier noise** — how blurry the PRM's view of soundness is, shrinking
+  with verifier size;
+* **subtree bias** — a persistent per-branch score offset. PRM errors are
+  not i.i.d.: once a verifier over-rates a line of reasoning it keeps
+  over-rating its descendants. This is what makes diverse selection (DVTS)
+  beat plain beam search on accuracy (paper Fig. 3 left), because global
+  top-K selection herds every beam into over-rated subtrees.
+
+Every draw is keyed by ``(problem, lineage, step)`` so results are
+schedule-invariant (see :mod:`repro.utils.rng`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.models.spec import ModelSpec
+from repro.utils.rng import KeyedRng
+from repro.workloads.problem import Problem
+
+__all__ = [
+    "generator_skill",
+    "verifier_noise_scale",
+    "QualityOracle",
+    "sigmoid",
+]
+
+_REFERENCE_PARAMS = 1.54e9  # Qwen2.5-Math-1.5B, the paper's anchor model
+_SKILL_AT_REFERENCE = 0.90
+_SKILL_PER_DECADE = 0.93
+_NOISE_AT_REFERENCE = 0.45
+_NOISE_SHRINK_EXPONENT = 0.35
+_SOUNDNESS_STD = 0.65
+_APPROACH_STD = 0.70
+_SUBTREE_BIAS_STD = 0.55
+_CORRECTNESS_GAIN = 1.6
+# Wrong answers are not uniform noise: most flawed derivations land on a
+# handful of problem-specific "attractor" values (sign slips, off-by-one
+# counts), which is what keeps majority voting honest. A Zipf-weighted
+# distractor pool models that clustering; a scatter fraction covers truly
+# idiosyncratic mistakes.
+_N_DISTRACTORS = 4
+_SCATTER_FRACTION = 0.25
+# Beams duplicated within one subtree produce near-identical conclusions:
+# their answer draws share the subtree's uniform with this probability
+# (comonotonic coupling). Herded searches therefore cast what is
+# effectively a single vote per subtree, while diverse searches cast
+# independent ones — the accuracy mechanism behind DVTS.
+_VOTE_CORRELATION = 0.6
+
+
+def sigmoid(x: float) -> float:
+    """Numerically stable logistic function."""
+    if x >= 0:
+        return 1.0 / (1.0 + math.exp(-x))
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+def generator_skill(model: ModelSpec) -> float:
+    """Mean step soundness of a generator, by parameter count."""
+    decades = math.log10(model.param_count / _REFERENCE_PARAMS)
+    return _SKILL_AT_REFERENCE + _SKILL_PER_DECADE * decades
+
+
+def verifier_noise_scale(model: ModelSpec) -> float:
+    """Std of the PRM's per-step observation noise, by parameter count."""
+    scale = (model.param_count / _REFERENCE_PARAMS) ** _NOISE_SHRINK_EXPONENT
+    return _NOISE_AT_REFERENCE / scale
+
+
+@dataclass(frozen=True)
+class QualityOracle:
+    """Deterministic access to the latent quality process.
+
+    One oracle is shared by generator and verifier simulators so that both
+    observe the *same* latent soundness values for a path.
+    """
+
+    rng: KeyedRng
+
+    def approach_quality(self, problem: Problem, lineage: tuple[int, ...]) -> float:
+        """Persistent quality of the solution *approach* a root beam chose.
+
+        The first thinking step commits a path to an approach (induction vs
+        coordinates vs casework...); its quality persists down the whole
+        subtree and cannot be rescued later. This is why answer votes
+        correlate within a subtree and why forced subtree diversity (DVTS)
+        buys accuracy that global top-K selection cannot.
+        """
+        if not lineage:
+            return 0.0
+        return self.rng.normal(
+            "approach", problem.problem_id, lineage[0], loc=0.0, scale=_APPROACH_STD
+        )
+
+    def step_soundness(
+        self, problem: Problem, lineage: tuple[int, ...], step_idx: int, skill: float
+    ) -> float:
+        """Latent soundness of one thinking step.
+
+        Centered on ``skill - difficulty`` plus the subtree's persistent
+        approach quality: stronger models on easier problems with a good
+        approach reason more soundly.
+        """
+        return self.rng.normal(
+            "soundness",
+            problem.problem_id,
+            lineage,
+            step_idx,
+            loc=skill - problem.difficulty + self.approach_quality(problem, lineage),
+            scale=_SOUNDNESS_STD,
+        )
+
+    def subtree_bias(self, problem: Problem, lineage: tuple[int, ...]) -> float:
+        """Persistent verifier bias inherited from the first branch point.
+
+        Paths in the same first-level subtree share one bias draw, so PRM
+        scores are correlated along a reasoning line (the property the
+        speculative-candidate heuristic exploits, paper Sec. 4.1.1).
+        """
+        if not lineage:
+            return 0.0
+        return self.rng.normal(
+            "subtree-bias",
+            problem.problem_id,
+            lineage[0],
+            loc=0.0,
+            scale=_SUBTREE_BIAS_STD,
+        )
+
+    def correctness_probability(self, mean_soundness: float) -> float:
+        """P(final answer correct | mean step soundness of the path)."""
+        return sigmoid(_CORRECTNESS_GAIN * mean_soundness)
+
+    def distractors(self, problem: Problem) -> list[int]:
+        """The problem's attractor wrong answers (stable per problem)."""
+        values = []
+        for j in range(_N_DISTRACTORS):
+            wrong = self.rng.randint(
+                "distractor-value", problem.problem_id, j, low=0, high=999
+            )
+            if wrong >= problem.answer:
+                wrong += 1  # never collide with the truth
+            values.append(wrong)
+        return values
+
+    def emit_answer(
+        self, problem: Problem, lineage: tuple[int, ...], mean_soundness: float
+    ) -> tuple[bool, int]:
+        """Sample the final answer for a terminated path.
+
+        Correct answers coincide on the ground truth; wrong answers mostly
+        cluster on the problem's Zipf-weighted distractors, with a scatter
+        fraction of per-path idiosyncratic values. Majority voting must
+        therefore beat the heaviest distractor, not just any noise.
+        """
+        p_correct = self.correctness_probability(mean_soundness)
+        shared_vote = (
+            self.rng.uniform("vote-coupling", problem.problem_id, lineage)
+            < _VOTE_CORRELATION
+        )
+        vote_key: tuple = lineage[:1] if shared_vote and lineage else lineage
+        is_correct = (
+            self.rng.uniform("answer-correct", problem.problem_id, vote_key) < p_correct
+        )
+        if is_correct:
+            return True, problem.answer
+        scatter_draw = self.rng.uniform("answer-scatter", problem.problem_id, vote_key)
+        if scatter_draw < _SCATTER_FRACTION:
+            wrong = self.rng.randint(
+                "answer-wrong", problem.problem_id, vote_key, low=0, high=999
+            )
+            if wrong >= problem.answer:
+                wrong += 1
+            return False, wrong
+        pick = self.rng.choice_index(
+            "distractor-pick",
+            problem.problem_id,
+            vote_key,
+            weights=[1.0 / (j + 1) for j in range(_N_DISTRACTORS)],
+        )
+        return False, self.distractors(problem)[pick]

@@ -1,0 +1,81 @@
+"""Synthetic tokenizer: renders deterministic pseudo-text for examples.
+
+The simulator reasons about token *counts*; this tokenizer exists so that
+runnable examples can show something human-shaped. It builds a syllable
+vocabulary, maps ids to pseudo-words, and renders a thinking step's opening
+tokens from the step's keyed RNG stream — so printed text, like everything
+else, is reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import KeyedRng
+
+__all__ = ["SyntheticTokenizer"]
+
+_ONSETS = ["th", "pr", "qu", "st", "gr", "pl", "v", "m", "s", "d", "l", "r", "n", "k"]
+_NUCLEI = ["a", "e", "i", "o", "u", "ia", "eo"]
+_CODAS = ["n", "m", "r", "s", "t", "x", "", "th", "nd"]
+_MATH_TOKENS = [
+    "triangle", "circle", "modulo", "integer", "sum", "prime", "root",
+    "angle", "ratio", "sequence", "polynomial", "factor", "digit", "square",
+]
+
+
+class SyntheticTokenizer:
+    """Deterministic id<->pseudo-word mapping with step rendering."""
+
+    def __init__(self, vocab_size: int = 4096) -> None:
+        if vocab_size < len(_MATH_TOKENS) + 2:
+            raise ValueError("vocab_size too small")
+        self._vocab_size = vocab_size
+
+    @property
+    def vocab_size(self) -> int:
+        return self._vocab_size
+
+    def decode_id(self, token_id: int) -> str:
+        """Map one token id to its pseudo-word (stable across calls)."""
+        if not 0 <= token_id < self._vocab_size:
+            raise ValueError(f"token id {token_id} out of range")
+        if token_id < len(_MATH_TOKENS):
+            return _MATH_TOKENS[token_id]
+        h = token_id * 2654435761 % 2**32
+        onset = _ONSETS[h % len(_ONSETS)]
+        nucleus = _NUCLEI[(h >> 8) % len(_NUCLEI)]
+        coda = _CODAS[(h >> 16) % len(_CODAS)]
+        suffix = "" if token_id < self._vocab_size // 2 else _NUCLEI[(h >> 24) % len(_NUCLEI)]
+        return onset + nucleus + coda + suffix
+
+    def decode(self, token_ids: list[int]) -> str:
+        """Join pseudo-words into a sentence-ish string."""
+        return " ".join(self.decode_id(t) for t in token_ids)
+
+    def render_step(
+        self,
+        rng: KeyedRng,
+        problem_id: str,
+        lineage: tuple[int, ...],
+        step_idx: int,
+        n_tokens: int,
+        preview: int = 18,
+    ) -> str:
+        """Render the first ``preview`` tokens of a step as pseudo-text.
+
+        Drawn from the step's addressed stream, biased toward the "math"
+        vocabulary so output reads vaguely like competition reasoning.
+        """
+        if n_tokens < 0:
+            raise ValueError("n_tokens must be non-negative")
+        count = min(preview, n_tokens)
+        stream = rng.stream("render", problem_id, lineage, step_idx)
+        ids = []
+        for _ in range(count):
+            if stream.random() < 0.3:
+                ids.append(int(stream.integers(0, len(_MATH_TOKENS))))
+            else:
+                ids.append(int(stream.integers(len(_MATH_TOKENS), self._vocab_size)))
+        text = self.decode(ids)
+        if n_tokens > count:
+            text += f" ... [+{n_tokens - count} tokens]"
+        return text

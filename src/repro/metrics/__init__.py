@@ -1,0 +1,26 @@
+"""Evaluation metrics: precise goodput, latency, accuracy, utilization."""
+
+from repro.metrics.accuracy import majority_answer, pass_at_n, top1_correct
+from repro.metrics.goodput import BeamRecord, precise_goodput
+from repro.metrics.latency import LatencyBreakdown, mean_breakdown
+from repro.metrics.report import ProblemRunResult, RunMetrics
+from repro.metrics.utilization import (
+    decay_ratio,
+    mean_phase_utilization,
+    utilization_timeline,
+)
+
+__all__ = [
+    "BeamRecord",
+    "precise_goodput",
+    "LatencyBreakdown",
+    "mean_breakdown",
+    "majority_answer",
+    "top1_correct",
+    "pass_at_n",
+    "ProblemRunResult",
+    "RunMetrics",
+    "mean_phase_utilization",
+    "utilization_timeline",
+    "decay_ratio",
+]

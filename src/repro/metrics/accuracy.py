@@ -1,0 +1,49 @@
+"""Answer-quality metrics: Top-1 majority voting and Pass@N (Sec. 6.3).
+
+Top-1 selects the final answer by majority vote over collected candidates
+(ties broken by total verifier score, then smaller answer for determinism).
+Pass@N asks whether at least one correct answer appears among the top N
+candidates ranked by verifier score.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.metrics.goodput import BeamRecord
+
+__all__ = ["majority_answer", "top1_correct", "pass_at_n"]
+
+
+def majority_answer(beams: Sequence[BeamRecord]) -> int:
+    """The majority-voted answer over all collected beams."""
+    if not beams:
+        raise ValueError("majority vote needs at least one beam")
+    votes: dict[int, int] = defaultdict(int)
+    score_mass: dict[int, float] = defaultdict(float)
+    for beam in beams:
+        votes[beam.answer] += 1
+        score_mass[beam.answer] += beam.score
+    return max(votes, key=lambda a: (votes[a], score_mass[a], -a))
+
+
+def top1_correct(beams: Sequence[BeamRecord]) -> bool:
+    """Whether majority voting lands on the ground truth.
+
+    Correctness is read off the records: an answer value is the ground
+    truth iff a beam carrying it is marked correct (wrong answers never
+    collide with the truth by construction of the oracle).
+    """
+    if not beams:
+        return False
+    winner = majority_answer(beams)
+    return any(b.correct and b.answer == winner for b in beams)
+
+
+def pass_at_n(beams: Sequence[BeamRecord], n: int) -> bool:
+    """At least one correct answer among the top ``n`` by verifier score."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    ranked = sorted(beams, key=lambda b: (-b.score, b.lineage))
+    return any(b.correct for b in ranked[:n])

@@ -1,0 +1,46 @@
+"""Precise Goodput (paper Sec. 6.1, Metrics).
+
+Standard goodput misleads for TTS because most generated tokens are never
+selected. The paper defines::
+
+    Precise Goodput := (average token length per beam)
+                     / (average beam completion time)
+
+averaging over all *collected* beams, which makes the metric robust to a
+single slow path and to text copied during branching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["BeamRecord", "precise_goodput"]
+
+
+@dataclass(frozen=True, slots=True)
+class BeamRecord:
+    """Everything the metrics need about one collected beam."""
+
+    lineage: tuple[int, ...]
+    tokens: int
+    completion_time: float
+    answer: int
+    correct: bool
+    score: float
+
+    def __post_init__(self) -> None:
+        if self.tokens <= 0:
+            raise ValueError("a collected beam has at least one token")
+        if self.completion_time <= 0:
+            raise ValueError("completion_time must be positive")
+
+
+def precise_goodput(beams: Sequence[BeamRecord] | Iterable[BeamRecord]) -> float:
+    """Tokens/s by the paper's definition; 0.0 for an empty collection."""
+    beam_list = list(beams)
+    if not beam_list:
+        return 0.0
+    avg_tokens = sum(b.tokens for b in beam_list) / len(beam_list)
+    avg_time = sum(b.completion_time for b in beam_list) / len(beam_list)
+    return avg_tokens / avg_time

@@ -1,0 +1,44 @@
+"""Weight/KV quantization as a cost-model transform.
+
+The paper notes FastTTS "is orthogonal to quantization and offloading
+techniques, which can be incorporated for additional efficiency gains"
+(Sec. 6.4). In this reproduction quantization is a pure cost transform:
+narrower dtypes shrink weight traffic (faster memory-bound decode) and the
+KV footprint (more resident beams). Accuracy effects of quantization are
+*not* modeled — the latent quality model keys off parameter count only —
+which matches how the paper treats it (a deployment knob, not part of the
+contribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.models.spec import ModelSpec
+
+__all__ = ["quantized", "DTYPE_BYTES"]
+
+DTYPE_BYTES = {
+    "fp16": 2,
+    "bf16": 2,
+    "int8": 1,
+    "fp8": 1,
+}
+
+
+def quantized(model: ModelSpec, dtype: str) -> ModelSpec:
+    """Return a copy of ``model`` deployed at the given dtype.
+
+    >>> from repro.models import QWEN25_MATH_1P5B
+    >>> q = quantized(QWEN25_MATH_1P5B, "int8")
+    >>> q.weight_bytes == QWEN25_MATH_1P5B.weight_bytes // 2
+    True
+    """
+    try:
+        dtype_bytes = DTYPE_BYTES[dtype]
+    except KeyError:
+        known = ", ".join(sorted(DTYPE_BYTES))
+        raise ValueError(f"unknown dtype {dtype!r}; known dtypes: {known}") from None
+    if dtype_bytes == model.dtype_bytes:
+        return model
+    return replace(model, name=f"{model.name}-{dtype}", dtype_bytes=dtype_bytes)

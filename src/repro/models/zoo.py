@@ -1,0 +1,133 @@
+"""Model zoo: the generator and verifier models from the paper's artifact.
+
+Sec. 6.1 / Appendix B.3.5 list four models:
+
+* generators — ``Qwen/Qwen2.5-Math-1.5B-Instruct``,
+  ``Qwen/Qwen2.5-Math-7B-Instruct``;
+* verifiers  — ``peiyi9979/math-shepherd-mistral-7b-prm`` (Mistral-7B base),
+  ``Skywork/Skywork-o1-Open-PRM-Qwen-2.5-1.5B`` (Qwen2.5-1.5B base).
+
+Architecture geometry below is taken from the public HuggingFace configs of
+those checkpoints; it fully determines per-token FLOPs and KV bytes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelLookupError
+from repro.models.spec import ModelRole, ModelSpec
+
+__all__ = [
+    "QWEN25_MATH_1P5B",
+    "QWEN25_MATH_7B",
+    "MATH_SHEPHERD_7B",
+    "SKYWORK_PRM_1P5B",
+    "get_model",
+    "list_models",
+    "register_model",
+    "model_pair",
+]
+
+_REGISTRY: dict[str, ModelSpec] = {}
+
+
+def register_model(spec: ModelSpec) -> ModelSpec:
+    """Add a model to the registry (idempotent for identical specs)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing != spec:
+        raise ValueError(f"model {spec.name!r} already registered with a different spec")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model by registry key."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ModelLookupError(f"unknown model {name!r}; known models: {known}") from None
+
+
+def list_models() -> list[str]:
+    """Sorted names of all registered models."""
+    return sorted(_REGISTRY)
+
+
+QWEN25_MATH_1P5B = register_model(
+    ModelSpec(
+        name="qwen2.5-math-1.5b",
+        role=ModelRole.GENERATOR,
+        param_count=1_540_000_000,
+        n_layers=28,
+        hidden_size=1536,
+        n_heads=12,
+        n_kv_heads=2,
+        head_dim=128,
+        intermediate_size=8960,
+        vocab_size=151_936,
+    )
+)
+
+QWEN25_MATH_7B = register_model(
+    ModelSpec(
+        name="qwen2.5-math-7b",
+        role=ModelRole.GENERATOR,
+        param_count=7_620_000_000,
+        n_layers=28,
+        hidden_size=3584,
+        n_heads=28,
+        n_kv_heads=4,
+        head_dim=128,
+        intermediate_size=18_944,
+        vocab_size=152_064,
+    )
+)
+
+MATH_SHEPHERD_7B = register_model(
+    ModelSpec(
+        name="math-shepherd-mistral-7b",
+        role=ModelRole.VERIFIER,
+        param_count=7_240_000_000,
+        n_layers=32,
+        hidden_size=4096,
+        n_heads=32,
+        n_kv_heads=8,
+        head_dim=128,
+        intermediate_size=14_336,
+        vocab_size=32_000,
+    )
+)
+
+SKYWORK_PRM_1P5B = register_model(
+    ModelSpec(
+        name="skywork-o1-prm-1.5b",
+        role=ModelRole.VERIFIER,
+        param_count=1_540_000_000,
+        n_layers=28,
+        hidden_size=1536,
+        n_heads=12,
+        n_kv_heads=2,
+        head_dim=128,
+        intermediate_size=8960,
+        vocab_size=151_936,
+    )
+)
+
+# The paper's three generator+verifier configurations (Sec. 6.1):
+#   "1.5B+1.5B" memory-constrained, "1.5B+7B" verifier-heavy,
+#   "7B+1.5B" generator-heavy.
+_PAIRS: dict[str, tuple[str, str]] = {
+    "1.5B+1.5B": ("qwen2.5-math-1.5b", "skywork-o1-prm-1.5b"),
+    "1.5B+7B": ("qwen2.5-math-1.5b", "math-shepherd-mistral-7b"),
+    "7B+1.5B": ("qwen2.5-math-7b", "skywork-o1-prm-1.5b"),
+}
+
+
+def model_pair(config: str) -> tuple[ModelSpec, ModelSpec]:
+    """Return ``(generator, verifier)`` for a paper configuration name."""
+    try:
+        generator_name, verifier_name = _PAIRS[config]
+    except KeyError:
+        known = ", ".join(sorted(_PAIRS))
+        raise ModelLookupError(f"unknown config {config!r}; known configs: {known}") from None
+    return get_model(generator_name), get_model(verifier_name)

@@ -1,0 +1,43 @@
+"""Verifier-guided beam search, the paper's representative method.
+
+Standard beam search with beam budget ``n`` and static branching factor
+``M``: after each verification, the top ``n / M`` beams *globally* are kept
+and each spawns ``M`` children (paper Fig. 2-II). This is the algorithm the
+main evaluation (Fig. 12-14) runs.
+"""
+
+from __future__ import annotations
+
+from repro.search.base import Expansion, SearchAlgorithm, SelectionDecision
+from repro.search.tree import ReasoningPath
+from repro.utils.rng import KeyedRng
+
+__all__ = ["BeamSearch"]
+
+
+class BeamSearch(SearchAlgorithm):
+    """Global top-K selection with a static branching factor."""
+
+    name = "beam_search"
+
+    def __init__(self, n: int, branching_factor: int = 4) -> None:
+        super().__init__(n=n, branching_factor=branching_factor)
+
+    def select(
+        self,
+        active: list[ReasoningPath],
+        round_idx: int,
+        rng: KeyedRng,
+    ) -> SelectionDecision:
+        """Keep the global top ``n / M`` beams; each branches ``M`` ways."""
+        if not active:
+            return SelectionDecision(expansions=())
+        keep = self.keep_count(len(active))
+        survivors = self.ranked(active)[:keep]
+        # Spread the full budget over survivors so the active width returns
+        # to n even when fewer beams than n/M remain alive.
+        per_beam = max(1, self.n // max(1, len(survivors)))
+        per_beam = min(per_beam, self.branching_factor)
+        return SelectionDecision(
+            expansions=tuple(Expansion(path=p, n_children=per_beam) for p in survivors)
+        )

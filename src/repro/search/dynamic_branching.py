@@ -1,0 +1,73 @@
+"""Dynamic Branching: score-proportional branch factors (paper Fig. 2-VI).
+
+Following the inference-scaling-laws line of work, the branching factor
+adapts to verifier confidence: each surviving beam branches proportionally
+to its score, subject to the total budget ``n`` (Fig. 11 runs this variant
+with "each beam branches proportionally to its verifier score"). Budget
+apportionment uses the largest-remainder method so results are
+deterministic and exactly sum to ``n``.
+"""
+
+from __future__ import annotations
+
+from repro.search.base import Expansion, SearchAlgorithm, SelectionDecision
+from repro.search.tree import ReasoningPath
+from repro.utils.rng import KeyedRng
+
+__all__ = ["DynamicBranching", "proportional_allocation"]
+
+
+def proportional_allocation(weights: list[float], total: int) -> list[int]:
+    """Integer allocation proportional to weights, each share >= 1.
+
+    Largest-remainder (Hamilton) apportionment with the floor raised to 1
+    so every survivor continues. Deterministic: ties resolve by index.
+    """
+    if total < len(weights):
+        raise ValueError("total must cover at least one child per survivor")
+    if not weights:
+        return []
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    mass = sum(weights)
+    if mass == 0:
+        weights = [1.0] * len(weights)
+        mass = float(len(weights))
+    spare = total - len(weights)
+    raw = [w / mass * spare for w in weights]
+    shares = [1 + int(r) for r in raw]
+    remainders = [(r - int(r), -i) for i, r in enumerate(raw)]
+    leftover = total - sum(shares)
+    for _, neg_index in sorted(remainders, reverse=True)[:leftover]:
+        shares[-neg_index] += 1
+    return shares
+
+
+class DynamicBranching(SearchAlgorithm):
+    """Top-K survival with verifier-score-proportional branching."""
+
+    name = "dynamic_branching"
+
+    def __init__(self, n: int, branching_factor: int = 4) -> None:
+        super().__init__(n=n, branching_factor=branching_factor)
+
+    def select(
+        self,
+        active: list[ReasoningPath],
+        round_idx: int,
+        rng: KeyedRng,
+    ) -> SelectionDecision:
+        """Keep top ``n / M``; split the budget ``n`` by score."""
+        if not active:
+            return SelectionDecision(expansions=())
+        keep = self.keep_count(len(active))
+        survivors = self.ranked(active)[:keep]
+        budget = min(self.n, max(len(survivors), self.n))
+        shares = proportional_allocation(
+            [s.last_score or 0.0 for s in survivors], budget
+        )
+        return SelectionDecision(
+            expansions=tuple(
+                Expansion(path=p, n_children=c) for p, c in zip(survivors, shares)
+            )
+        )

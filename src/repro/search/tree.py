@@ -1,0 +1,119 @@
+"""Reasoning paths and the segment-id convention.
+
+A path's identity is its *lineage*: the tuple of branch indices taken at
+each selection round. Conventions used throughout the library:
+
+* at round ``r`` every active path has ``len(lineage) == r + 1`` and is
+  generating step ``r``;
+* step ``i`` of a path with lineage ``L`` was generated when the lineage
+  was ``L[: i + 1]``, so its RNG key and KV segment id derive from
+  ``(problem, L[: i + 1], i)`` — ancestors and descendants share prefix
+  segments for free;
+* the prompt occupies a root segment keyed by the problem alone.
+
+This makes the reasoning tree and the KV radix tree two views of the same
+structure, which is precisely the property Dynamic Prefix-Aware Scheduling
+exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.rng import stable_hash64
+from repro.workloads.problem import Problem
+
+__all__ = ["ReasoningPath", "prompt_segment_id", "step_segment_id"]
+
+
+def prompt_segment_id(problem: Problem) -> int:
+    """Segment id of the shared prompt root."""
+    return stable_hash64("segment", problem.problem_id, "prompt")
+
+
+def step_segment_id(problem: Problem, lineage: tuple[int, ...], step_idx: int) -> int:
+    """Segment id for step ``step_idx`` generated under ``lineage`` prefix."""
+    if step_idx < 0:
+        raise ValueError("step_idx must be non-negative")
+    if len(lineage) < step_idx + 1:
+        raise ValueError("lineage too short for step index")
+    return stable_hash64("segment", problem.problem_id, lineage[: step_idx + 1], step_idx)
+
+
+@dataclass(slots=True)
+class ReasoningPath:
+    """One beam: its lineage, per-step history, and terminal outcome."""
+
+    lineage: tuple[int, ...]
+    step_tokens: list[int] = field(default_factory=list)
+    soundness: list[float] = field(default_factory=list)
+    scores: list[float] = field(default_factory=list)
+    terminal: bool = False
+    answer: int | None = None
+    answer_correct: bool | None = None
+    completion_time: float | None = None
+
+    @property
+    def steps_done(self) -> int:
+        return len(self.step_tokens)
+
+    @property
+    def total_tokens(self) -> int:
+        """Generated tokens along this path (prompt excluded)."""
+        return sum(self.step_tokens)
+
+    @property
+    def mean_soundness(self) -> float:
+        """Running mean of latent step soundness (the PRM's target)."""
+        if not self.soundness:
+            return 0.0
+        return sum(self.soundness) / len(self.soundness)
+
+    @property
+    def last_score(self) -> float | None:
+        return self.scores[-1] if self.scores else None
+
+    @property
+    def final_score(self) -> float:
+        """Ranking score for pass@N: the last verifier score, else 0."""
+        return self.scores[-1] if self.scores else 0.0
+
+    def record_step(self, n_tokens: int, soundness: float) -> None:
+        """Append one generated step's outcome."""
+        if n_tokens <= 0:
+            raise ValueError("n_tokens must be positive")
+        self.step_tokens.append(n_tokens)
+        self.soundness.append(soundness)
+
+    def record_score(self, score: float) -> None:
+        """Append the verifier's score for the newest step."""
+        if not 0.0 <= score <= 1.0:
+            raise ValueError("PRM scores live in [0, 1]")
+        if len(self.scores) >= len(self.step_tokens):
+            raise ValueError("cannot score more steps than were generated")
+        self.scores.append(score)
+
+    def make_child(self, branch_index: int) -> "ReasoningPath":
+        """Fork a child that inherits the full history."""
+        if self.terminal:
+            raise ValueError("terminal paths cannot branch")
+        if branch_index < 0:
+            raise ValueError("branch_index must be non-negative")
+        return ReasoningPath(
+            lineage=self.lineage + (branch_index,),
+            step_tokens=list(self.step_tokens),
+            soundness=list(self.soundness),
+            scores=list(self.scores),
+        )
+
+    def segment_ids(self, problem: Problem) -> tuple[int, ...]:
+        """KV segments root->leaf: prompt plus one per generated step."""
+        segments = [prompt_segment_id(problem)]
+        segments.extend(
+            step_segment_id(problem, self.lineage, i) for i in range(self.steps_done)
+        )
+        return tuple(segments)
+
+    def sort_key(self) -> tuple[float, int]:
+        """Deterministic ordering key: score descending, then lineage hash."""
+        return (-(self.last_score or 0.0), stable_hash64("tie", self.lineage))

@@ -1,0 +1,20 @@
+"""Synthetic workloads: problems, datasets, and step-length trace models."""
+
+from repro.workloads.datasets import (
+    DATASET_PROFILES,
+    DatasetProfile,
+    build_dataset,
+    list_datasets,
+)
+from repro.workloads.problem import Dataset, Problem
+from repro.workloads.traces import StepLengthModel
+
+__all__ = [
+    "Problem",
+    "Dataset",
+    "StepLengthModel",
+    "build_dataset",
+    "list_datasets",
+    "DATASET_PROFILES",
+    "DatasetProfile",
+]

@@ -1,0 +1,70 @@
+"""Problem and dataset containers for the synthetic benchmark workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.traces import StepLengthModel
+
+__all__ = ["Problem", "Dataset"]
+
+
+@dataclass(frozen=True, slots=True)
+class Problem:
+    """One reasoning problem.
+
+    Attributes
+    ----------
+    problem_id:
+        Stable identifier, also the RNG key prefix for everything sampled
+        about this problem.
+    dataset:
+        Name of the dataset the problem belongs to.
+    difficulty:
+        Latent difficulty on the same scale as model skill; correctness
+        probability is a logistic function of (path quality - difficulty).
+    answer:
+        Ground-truth final answer (AIME-style integer in [0, 999]).
+    prompt_tokens:
+        Length of the problem statement in tokens (the shared KV root).
+    """
+
+    problem_id: str
+    dataset: str
+    difficulty: float
+    answer: int
+    prompt_tokens: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.answer <= 999:
+            raise ValueError("answer must be an AIME-style integer in [0, 999]")
+        if self.prompt_tokens <= 0:
+            raise ValueError("prompt_tokens must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class Dataset:
+    """A benchmark dataset plus its generation dynamics."""
+
+    name: str
+    problems: tuple[Problem, ...] = field(default=())
+    step_model: StepLengthModel = field(default=None)  # type: ignore[assignment]
+    min_steps: int = 2
+    max_steps: int = 10
+    termination_rate: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.step_model is None:
+            raise ValueError("step_model is required")
+        if not self.problems:
+            raise ValueError("dataset must contain at least one problem")
+        if self.min_steps < 1 or self.max_steps < self.min_steps:
+            raise ValueError("need 1 <= min_steps <= max_steps")
+        if not 0.0 < self.termination_rate <= 1.0:
+            raise ValueError("termination_rate must be in (0, 1]")
+
+    def __len__(self) -> int:
+        return len(self.problems)
+
+    def __iter__(self):
+        return iter(self.problems)

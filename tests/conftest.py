@@ -1,0 +1,7 @@
+"""Shared pytest configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: serving-scale experiment tests")

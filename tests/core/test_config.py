@@ -1,0 +1,55 @@
+"""Tests for server configuration."""
+
+import pytest
+
+from repro.core.config import OffloadMode, ServerConfig, baseline_config, fasttts_config
+from repro.errors import ConfigError
+
+
+class TestServerConfig:
+    def test_baseline_all_off(self):
+        cfg = baseline_config()
+        assert not cfg.speculation
+        assert not cfg.prefix_caching
+        assert not cfg.prefix_aware
+        assert not cfg.asymmetric_alloc
+        assert not cfg.lookahead
+        assert cfg.offload is OffloadMode.OFF
+
+    def test_fasttts_all_on(self):
+        cfg = fasttts_config()
+        assert cfg.speculation and cfg.prefix_caching and cfg.prefix_aware
+        assert cfg.asymmetric_alloc and cfg.lookahead
+        assert cfg.offload is OffloadMode.AUTO
+
+    def test_lookahead_requires_speculation(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(lookahead=True)
+
+    def test_prefix_aware_requires_caching(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(prefix_aware=True)
+
+    def test_speculation_requires_caching(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(speculation=True)
+
+    def test_memory_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(memory_fraction=0.0)
+        with pytest.raises(ConfigError):
+            ServerConfig(memory_fraction=1.5)
+
+    def test_truncation_ratio_bounds(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(spec_truncation_ratio=1.1)
+
+    def test_with_overrides(self):
+        cfg = fasttts_config().with_overrides(seed=9)
+        assert cfg.seed == 9
+        assert cfg.speculation
+
+    def test_overrides_in_factory(self):
+        cfg = fasttts_config(speculation=False, lookahead=False)
+        assert not cfg.speculation
+        assert cfg.prefix_aware

@@ -1,0 +1,246 @@
+"""Tests for the generation-round executor (Alg. 1 mechanics)."""
+
+import pytest
+
+from repro.core.generation_round import ChildStepPlan, GenerationRound
+from repro.engine.clock import SimClock
+from repro.engine.jobs import GenJob
+from repro.engine.telemetry import PhaseTimer, UtilizationTracker
+from repro.engine.worker import GeneratorWorker
+from repro.errors import SchedulingError
+from repro.hardware.device import get_device
+from repro.hardware.roofline import Roofline
+from repro.kvcache.cache import PagedKVCache
+from repro.models.zoo import QWEN25_MATH_1P5B as MODEL
+
+PROMPT_SEG = 1000
+
+
+def make_worker(capacity_tokens=100_000):
+    cache = PagedKVCache(capacity_tokens * MODEL.kv_bytes_per_token,
+                         MODEL.kv_bytes_per_token)
+    cache.register_segment(PROMPT_SEG, None, 64)
+    return GeneratorWorker(
+        MODEL, Roofline(get_device("rtx4090")), cache, SimClock(),
+        PhaseTimer(), UtilizationTracker(),
+    )
+
+
+def make_job(i, tokens, head=0, score=None):
+    return GenJob(
+        lineage=(i,),
+        path_segments=(PROMPT_SEG,),
+        path_segment_tokens=(64,),
+        new_segment=2000 + i,
+        step_tokens=tokens,
+        head_start=head,
+        prev_score=score,
+    )
+
+
+def child_planner_factory(tokens=32):
+    def planner(parent_lineage, child_index):
+        return ChildStepPlan(
+            child_lineage=parent_lineage + (child_index,),
+            segment_id=3000 + 100 * parent_lineage[0] + child_index,
+            parent_leaf_segment=2000 + parent_lineage[0],
+            n_tokens=tokens,
+        )
+    return planner
+
+
+class TestBasicRound:
+    def test_all_jobs_complete(self):
+        worker = make_worker()
+        round_ = GenerationRound(worker, slot_budget=8)
+        jobs = [make_job(i, 10 + i) for i in range(4)]
+        result = round_.run(jobs)
+        assert set(result.outcomes) == {(0,), (1,), (2,), (3,)}
+        for i in range(4):
+            assert result.outcomes[(i,)].tokens_generated == 10 + i
+
+    def test_empty_round(self):
+        result = GenerationRound(make_worker(), slot_budget=4).run([])
+        assert result.outcomes == {}
+        assert result.stats.round_time == 0.0
+
+    def test_shorter_beams_finish_earlier(self):
+        worker = make_worker()
+        result = GenerationRound(worker, slot_budget=8).run(
+            [make_job(0, 10), make_job(1, 100)]
+        )
+        assert (
+            result.outcomes[(0,)].finish_time < result.outcomes[(1,)].finish_time
+        )
+
+    def test_round_time_set_by_straggler(self):
+        worker = make_worker()
+        result = GenerationRound(worker, slot_budget=8).run(
+            [make_job(0, 10), make_job(1, 200)]
+        )
+        assert result.stats.round_time == pytest.approx(
+            result.outcomes[(1,)].finish_time, rel=0.01
+        )
+
+    def test_decoded_tokens_counted(self):
+        result = GenerationRound(make_worker(), slot_budget=4).run(
+            [make_job(0, 25), make_job(1, 35)]
+        )
+        assert result.stats.decoded_tokens == 60
+
+    def test_head_start_reduces_decoding(self):
+        worker = make_worker()
+        worker.cache.register_segment(2000, PROMPT_SEG, 15)  # pre-generated
+        result = GenerationRound(worker, slot_budget=4).run(
+            [make_job(0, 40, head=15)]
+        )
+        assert result.outcomes[(0,)].tokens_generated == 25
+
+    def test_full_head_start_instant_finish(self):
+        worker = make_worker()
+        worker.cache.register_segment(2000, PROMPT_SEG, 40)
+        result = GenerationRound(worker, slot_budget=4).run(
+            [make_job(0, 40, head=40)]
+        )
+        assert result.outcomes[(0,)].tokens_generated == 0
+
+
+class TestWaves:
+    def test_slot_budget_respected(self):
+        worker = make_worker()
+        round_ = GenerationRound(worker, slot_budget=2)
+        result = round_.run([make_job(i, 20) for i in range(6)])
+        assert len(result.outcomes) == 6
+        for span in worker._util.spans:
+            assert span.busy_slots <= 2
+
+    def test_continuous_beam_batching_refills(self):
+        """Freed slots admit waiting beams (Phase 1)."""
+        worker = make_worker()
+        round_ = GenerationRound(worker, slot_budget=2)
+        result = round_.run([make_job(0, 5), make_job(1, 50), make_job(2, 5)])
+        # job 2 starts when job 0's slot frees, well before job 1 ends
+        assert result.outcomes[(2,)].finish_time < result.outcomes[(1,)].finish_time
+
+    def test_stall_detected(self):
+        worker = make_worker(capacity_tokens=96)  # prompt barely fits
+        round_ = GenerationRound(worker, slot_budget=2)
+        with pytest.raises(SchedulingError):
+            round_.run([make_job(0, 2000)])
+
+
+class TestSpeculation:
+    def test_spec_fills_idle_slots(self):
+        worker = make_worker()
+        round_ = GenerationRound(
+            worker, slot_budget=2, speculation=True, branching_factor=4,
+            child_planner=child_planner_factory(tokens=100),
+        )
+        result = round_.run([make_job(0, 5, score=0.9), make_job(1, 60)])
+        assert result.stats.speculative_tokens > 0
+        assert any(s.speculative_slots > 0 for s in worker._util.spans)
+
+    def test_spec_strictly_terminated_with_stragglers(self):
+        """Speculation never extends the round beyond the last straggler."""
+        plain_worker = make_worker()
+        plain = GenerationRound(plain_worker, slot_budget=2).run(
+            [make_job(0, 5), make_job(1, 60)]
+        )
+        spec_worker = make_worker()
+        spec = GenerationRound(
+            spec_worker, slot_budget=2, speculation=True, branching_factor=4,
+            child_planner=child_planner_factory(tokens=1000),
+        ).run([make_job(0, 5, score=0.9), make_job(1, 60)])
+        assert spec.stats.round_time == pytest.approx(
+            plain.stats.round_time, rel=0.05
+        )
+
+    def test_partial_spec_recorded_as_head_start(self):
+        worker = make_worker()
+        round_ = GenerationRound(
+            worker, slot_budget=2, speculation=True, branching_factor=4,
+            child_planner=child_planner_factory(tokens=1000),  # can't finish
+        )
+        result = round_.run([make_job(0, 5, score=0.9), make_job(1, 60)])
+        assert result.head_starts
+        head = next(iter(result.head_starts.values()))
+        assert 0 < head.tokens < 1000
+
+    def test_completed_spec_head_is_full_step(self):
+        worker = make_worker()
+        round_ = GenerationRound(
+            worker, slot_budget=2, speculation=True, branching_factor=4,
+            child_planner=child_planner_factory(tokens=10),
+        )
+        result = round_.run([make_job(0, 5, score=0.9), make_job(1, 300)])
+        full = [h for h in result.head_starts.values() if h.tokens == 10]
+        assert full
+
+    def test_high_score_beams_speculate_first(self):
+        worker = make_worker()
+        claims = []
+        base_planner = child_planner_factory(tokens=500)
+
+        def recording_planner(parent, child):
+            claims.append(parent)
+            return base_planner(parent, child)
+
+        round_ = GenerationRound(
+            worker, slot_budget=3, speculation=True, branching_factor=4,
+            child_planner=recording_planner,
+        )
+        round_.run([
+            make_job(0, 5, score=0.95),
+            make_job(1, 5, score=0.05),
+            make_job(2, 200),
+        ])
+        assert claims[0] == (0,)
+
+    def test_terminal_beams_not_speculated(self):
+        worker = make_worker()
+
+        def no_children(parent, child):
+            return None
+
+        round_ = GenerationRound(
+            worker, slot_budget=2, speculation=True, branching_factor=4,
+            child_planner=no_children,
+        )
+        result = round_.run([make_job(0, 5), make_job(1, 50)])
+        assert result.stats.speculative_tokens == 0
+
+    def test_preemption_halts_speculation(self):
+        worker = make_worker()
+        calls = {"n": 0}
+
+        def preempt_after_a_while():
+            calls["n"] += 1
+            return calls["n"] > 3
+
+        round_ = GenerationRound(
+            worker, slot_budget=2, speculation=True, branching_factor=4,
+            child_planner=child_planner_factory(tokens=5000),
+            preempt_check=preempt_after_a_while,
+        )
+        result = round_.run([make_job(0, 5, score=0.9), make_job(1, 400)])
+        # standard work still completes; speculation was cut short
+        assert set(result.outcomes) == {(0,), (1,)}
+
+    def test_speculation_requires_planner(self):
+        with pytest.raises(ValueError):
+            GenerationRound(make_worker(), slot_budget=2, speculation=True)
+
+
+class TestAlgorithmicEquivalence:
+    def test_outcome_tokens_independent_of_speculation(self):
+        """Speculation changes timing, never the generated step lengths."""
+        jobs = [make_job(i, 20 + 7 * i, score=0.5) for i in range(4)]
+        plain = GenerationRound(make_worker(), slot_budget=4).run(
+            [make_job(i, 20 + 7 * i, score=0.5) for i in range(4)]
+        )
+        spec = GenerationRound(
+            make_worker(), slot_budget=4, speculation=True, branching_factor=4,
+            child_planner=child_planner_factory(),
+        ).run(jobs)
+        for lineage, outcome in plain.outcomes.items():
+            assert spec.outcomes[lineage].tokens_generated == outcome.tokens_generated

@@ -1,0 +1,156 @@
+"""Tests for Dynamic Prefix-Aware Scheduling."""
+
+import pytest
+
+from repro.core.prefix_sched import (
+    eviction_cost,
+    greedy_order,
+    lineage_order,
+    random_order,
+    schedule_tries,
+    worst_case_order,
+)
+from repro.kvcache.radix import RadixTree
+from repro.utils.rng import KeyedRng
+
+
+def make_tree(n_subtrees=4, children=4, depth=3):
+    """Balanced reasoning tree; returns (tree, leaves, lineage map)."""
+    tree = RadixTree()
+    tree.add_node(0, None, 10)
+    leaves, lineages = [], {}
+    next_id = [1]
+
+    def grow(parent, lineage, level):
+        if level == depth:
+            leaves.append(parent)
+            lineages[parent] = lineage
+            return
+        width = n_subtrees if level == 0 else children
+        for i in range(width):
+            node = next_id[0]
+            next_id[0] += 1
+            tree.add_node(node, parent, 5)
+            grow(node, lineage + (i,), level + 1)
+
+    grow(0, (), 0)
+    return tree, leaves, lineages
+
+
+class TestOrders:
+    def test_greedy_groups_siblings(self):
+        tree, leaves, _ = make_tree()
+        order = greedy_order(leaves, tree, lambda x: x)
+        # consecutive items should mostly share deep prefixes
+        sharing = [
+            tree.shared_prefix_nodes(order[i], order[i + 1])
+            for i in range(len(order) - 1)
+        ]
+        assert sum(sharing) / len(sharing) > 1.5
+
+    def test_greedy_beats_random_in_adjacent_sharing(self):
+        tree, leaves, _ = make_tree()
+        rng = KeyedRng(0)
+
+        def adjacent_sharing(order):
+            return sum(
+                tree.shared_prefix_tokens(order[i], order[i + 1])
+                for i in range(len(order) - 1)
+            )
+
+        greedy = adjacent_sharing(greedy_order(leaves, tree, lambda x: x))
+        rand = adjacent_sharing(random_order(leaves, rng))
+        worst = adjacent_sharing(worst_case_order(leaves, tree, lambda x: x))
+        assert greedy > rand > worst
+
+    def test_lineage_order_groups_siblings(self):
+        tree, leaves, lineages = make_tree()
+        order = lineage_order(leaves, lambda leaf: lineages[leaf])
+        for i in range(0, len(order) - 1, 2):
+            a, b = lineages[order[i]], lineages[order[i + 1]]
+            assert a[:-1] == b[:-1] or a[: len(b) - 1] == b[: len(b) - 1] or True
+        # siblings adjacent: lineage prefixes of consecutive pairs match often
+        sharing = [
+            tree.shared_prefix_nodes(order[i], order[i + 1])
+            for i in range(len(order) - 1)
+        ]
+        assert sum(s >= 2 for s in sharing) / len(sharing) > 0.6
+
+    def test_random_order_deterministic_per_seed(self):
+        items = list(range(20))
+        rng = KeyedRng(3)
+        assert random_order(items, rng, salt=1) == random_order(items, rng, salt=1)
+        assert random_order(items, rng, salt=1) != random_order(items, rng, salt=2)
+
+    def test_empty_inputs(self):
+        tree = RadixTree()
+        assert greedy_order([], tree, lambda x: x) == []
+        assert worst_case_order([], tree, lambda x: x) == []
+
+
+class TestTries:
+    def test_partition_respects_capacity(self):
+        tree, leaves, _ = make_tree()
+        tries = schedule_tries(leaves, tree, lambda x: x, capacity_nodes=8)
+        for t in tries:
+            assert len(t) <= 8
+
+    def test_single_trie_when_everything_fits(self):
+        tree, leaves, _ = make_tree(n_subtrees=2, children=2, depth=2)
+        tries = schedule_tries(leaves, tree, lambda x: x, capacity_nodes=1000)
+        assert len(tries) == 1
+
+    def test_capacity_validation(self):
+        tree, leaves, _ = make_tree()
+        with pytest.raises(ValueError):
+            schedule_tries(leaves, tree, lambda x: x, capacity_nodes=0)
+
+
+class TestEvictionCost:
+    def test_cost_at_least_compulsory(self):
+        """Total cost is bounded below by the unique node count."""
+        tree, leaves, _ = make_tree()
+        unique_nodes = len({n for leaf in leaves for n in tree.path(leaf)})
+        cost = eviction_cost(
+            greedy_order(leaves, tree, lambda x: x), tree, lambda x: x, 16
+        )
+        assert cost >= unique_nodes - 16  # all but the last trie evicts
+
+    def test_greedy_no_worse_than_alternatives(self):
+        tree, leaves, _ = make_tree()
+        rng = KeyedRng(1)
+        for capacity in (8, 16, 32):
+            greedy = eviction_cost(
+                greedy_order(leaves, tree, lambda x: x), tree, lambda x: x, capacity
+            )
+            rand = eviction_cost(random_order(leaves, rng), tree, lambda x: x, capacity)
+            worst = eviction_cost(
+                worst_case_order(leaves, tree, lambda x: x), tree, lambda x: x, capacity
+            )
+            assert greedy <= rand
+            assert greedy <= worst
+
+    def test_lineage_matches_greedy_closely(self):
+        """The practical implementation approaches the greedy schedule."""
+        tree, leaves, lineages = make_tree()
+        greedy = eviction_cost(
+            greedy_order(leaves, tree, lambda x: x), tree, lambda x: x, 16
+        )
+        lineage = eviction_cost(
+            lineage_order(leaves, lambda leaf: lineages[leaf]), tree, lambda x: x, 16
+        )
+        assert lineage <= greedy * 1.15
+
+    def test_ample_capacity_equalizes_orders(self):
+        tree, leaves, _ = make_tree()
+        rng = KeyedRng(2)
+        big = 10_000
+        greedy = eviction_cost(
+            greedy_order(leaves, tree, lambda x: x), tree, lambda x: x, big
+        )
+        rand = eviction_cost(random_order(leaves, rng), tree, lambda x: x, big)
+        assert greedy == rand  # only compulsory cost remains
+
+    def test_empty_schedule_costs_nothing(self):
+        tree = RadixTree()
+        assert eviction_cost([], tree, lambda x: x, 10) == 0

@@ -1,0 +1,86 @@
+"""Tests for SelectSPEC speculative-candidate selection."""
+
+import pytest
+
+from repro.core.spec_select import SelectSpec, speculative_potential
+
+
+class TestSpeculativePotential:
+    def test_top_bin_gets_full_branching(self):
+        assert speculative_potential(0.99, 4) == 4
+        assert speculative_potential(1.0, 4) == 4
+
+    def test_bottom_bin_gets_one(self):
+        assert speculative_potential(0.01, 4) == 1
+        assert speculative_potential(0.0, 4) == 1
+
+    def test_monotone_in_score(self):
+        potentials = [speculative_potential(s / 10, 4) for s in range(11)]
+        assert potentials == sorted(potentials)
+
+    def test_none_score_middle_bin(self):
+        assert 1 <= speculative_potential(None, 4) <= 4
+
+    def test_binning_formula(self):
+        """M_i = B - j + 1 with fixed-width bins (Sec. 4.1.1)."""
+        assert speculative_potential(0.875, 4) == 4  # bin C1: [0.75, 1]
+        assert speculative_potential(0.625, 4) == 3  # bin C2
+        assert speculative_potential(0.375, 4) == 2  # bin C3
+        assert speculative_potential(0.125, 4) == 1  # bin C4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            speculative_potential(1.5, 4)
+        with pytest.raises(ValueError):
+            speculative_potential(0.5, 0)
+
+
+class TestSelectSpec:
+    def test_priority_order(self):
+        selector = SelectSpec(branching_factor=4)
+        selector.offer((0,), 0.2)   # potential 1
+        selector.offer((1,), 0.9)   # potential 4
+        parent, child = selector.next_branch()
+        assert parent == (1,)
+        assert child == 0
+
+    def test_same_parent_drawn_up_to_potential(self):
+        selector = SelectSpec(branching_factor=4)
+        selector.offer((1,), 0.9)
+        claims = [selector.next_branch() for _ in range(4)]
+        assert all(c is not None and c[0] == (1,) for c in claims)
+        assert [c[1] for c in claims] == [0, 1, 2, 3]
+
+    def test_exhausted_pool_returns_none(self):
+        selector = SelectSpec(branching_factor=2)
+        selector.offer((0,), 0.1)  # potential 1
+        assert selector.next_branch() is not None
+        assert selector.next_branch() is None
+
+    def test_fifo_within_equal_potential(self):
+        selector = SelectSpec(branching_factor=1)
+        selector.offer((5,), 0.5)
+        selector.offer((6,), 0.5)
+        assert selector.next_branch()[0] == (5,)
+        assert selector.next_branch()[0] == (6,)
+
+    def test_len_counts_live_candidates(self):
+        selector = SelectSpec(branching_factor=4)
+        selector.offer((0,), 0.9)
+        selector.offer((1,), 0.9)
+        assert len(selector) == 2
+        for _ in range(4):
+            selector.next_branch()
+        assert len(selector) == 1
+
+    def test_interleaved_offers(self):
+        """Slots freed over time mix with new candidates correctly."""
+        selector = SelectSpec(branching_factor=4)
+        selector.offer((0,), 0.55)  # potential 3
+        assert selector.next_branch()[0] == (0,)
+        selector.offer((1,), 0.95)  # potential 4: jumps the queue
+        assert selector.next_branch()[0] == (1,)
+
+    def test_bad_branching_factor(self):
+        with pytest.raises(ValueError):
+            SelectSpec(branching_factor=0)

@@ -1,0 +1,125 @@
+"""Tests for request-arrival preemption and stream serving."""
+
+import pytest
+
+from repro.core.config import baseline_config, fasttts_config
+from repro.core.server import TTSServer
+from repro.search.beam_search import BeamSearch
+from repro.workloads.datasets import build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("amc23", seed=4, size=3)
+
+
+@pytest.fixture(scope="module")
+def problem(dataset):
+    return list(dataset)[0]
+
+
+ALGO = BeamSearch(n=16)
+
+
+class TestArrivalPreemption:
+    def test_early_arrival_suppresses_speculation(self, dataset, problem):
+        free = TTSServer(fasttts_config(memory_fraction=0.4), dataset).solve(
+            problem, ALGO
+        )
+        preempted = TTSServer(fasttts_config(memory_fraction=0.4), dataset).solve(
+            problem, ALGO, arrivals=(0.0,)
+        )
+        spec_free = free.tokens.speculative_used + free.tokens.speculative_wasted
+        spec_pre = (
+            preempted.tokens.speculative_used + preempted.tokens.speculative_wasted
+        )
+        assert spec_free > 0
+        assert spec_pre < spec_free * 0.2
+
+    def test_preemption_preserves_results(self, dataset, problem):
+        """Paper: preemption stops speculation, never the algorithm."""
+        free = TTSServer(fasttts_config(memory_fraction=0.4), dataset).solve(
+            problem, ALGO
+        )
+        preempted = TTSServer(fasttts_config(memory_fraction=0.4), dataset).solve(
+            problem, ALGO, arrivals=(1.0,)
+        )
+        assert sorted((b.lineage, b.answer) for b in free.beams) == sorted(
+            (b.lineage, b.answer) for b in preempted.beams
+        )
+
+    def test_late_arrival_changes_nothing(self, dataset, problem):
+        free = TTSServer(fasttts_config(memory_fraction=0.4), dataset).solve(
+            problem, ALGO
+        )
+        late = TTSServer(fasttts_config(memory_fraction=0.4), dataset).solve(
+            problem, ALGO, arrivals=(free.latency.total * 10,)
+        )
+        assert late.latency.total == free.latency.total
+
+    def test_baseline_unaffected_by_arrivals(self, dataset, problem):
+        base = TTSServer(baseline_config(memory_fraction=0.4), dataset)
+        a = base.solve(problem, ALGO)
+        b = base.solve(problem, ALGO, arrivals=(0.0,))
+        assert a.latency.total == b.latency.total
+
+
+class TestServeStream:
+    def test_stream_returns_all(self, dataset):
+        server = TTSServer(fasttts_config(memory_fraction=0.4), dataset)
+        results = server.serve_stream(list(dataset), ALGO, inter_arrival_s=5.0)
+        assert len(results) == 3
+        assert len({r.problem_id for r in results}) == 3
+
+    def test_dense_stream_suppresses_more_speculation_than_sparse(self, dataset):
+        dense = TTSServer(fasttts_config(memory_fraction=0.4), dataset).serve_stream(
+            list(dataset), ALGO, inter_arrival_s=0.5
+        )
+        sparse = TTSServer(fasttts_config(memory_fraction=0.4), dataset).serve_stream(
+            list(dataset), ALGO, inter_arrival_s=1e6
+        )
+        spec = lambda results: sum(  # noqa: E731
+            r.tokens.speculative_used + r.tokens.speculative_wasted for r in results
+        )
+        assert spec(dense) < spec(sparse)
+
+    def test_stream_results_match_isolated_runs_algorithmically(self, dataset):
+        server = TTSServer(fasttts_config(memory_fraction=0.4), dataset)
+        stream = server.serve_stream(list(dataset), ALGO, inter_arrival_s=1.0)
+        isolated = TTSServer(fasttts_config(memory_fraction=0.4), dataset).run(
+            list(dataset), ALGO
+        )
+        for s, i in zip(stream, isolated):
+            assert [b.answer for b in s.beams] == [b.answer for b in i.beams]
+
+    def test_negative_interval_rejected(self, dataset):
+        server = TTSServer(fasttts_config(memory_fraction=0.4), dataset)
+        with pytest.raises(ValueError):
+            server.serve_stream(list(dataset), ALGO, inter_arrival_s=-1.0)
+
+
+class TestQuantizedServing:
+    def test_int8_faster_same_results(self, dataset, problem):
+        fp16 = TTSServer(fasttts_config(memory_fraction=0.4), dataset).solve(
+            problem, ALGO
+        )
+        int8 = TTSServer(
+            fasttts_config(memory_fraction=0.4, quantization="int8"), dataset
+        ).solve(problem, ALGO)
+        assert int8.goodput > fp16.goodput
+        assert sorted((b.lineage, b.answer) for b in int8.beams) == sorted(
+            (b.lineage, b.answer) for b in fp16.beams
+        )
+
+    def test_quantization_enables_tight_fits(self, dataset, problem):
+        """int8 lets the 7B pair fit where fp16 cannot."""
+        from repro.errors import CapacityError
+
+        cfg_fp16 = fasttts_config(
+            device_name="rtx4070ti", model_config="7B+1.5B", memory_fraction=0.95
+        )
+        with pytest.raises(CapacityError):
+            TTSServer(cfg_fp16, dataset)
+        cfg_int8 = cfg_fp16.with_overrides(quantization="int8")
+        server = TTSServer(cfg_int8, dataset)
+        assert server.kv_budget_bytes > 0

@@ -1,0 +1,111 @@
+"""Tests for the simulation clock and telemetry."""
+
+import pytest
+
+from repro.engine.clock import SimClock
+from repro.engine.telemetry import (
+    Phase,
+    PhaseTimer,
+    TokenCounters,
+    UtilizationTracker,
+    UtilSpan,
+)
+
+
+class TestSimClock:
+    def test_advances(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+
+class TestUtilSpan:
+    def test_utilization(self):
+        span = UtilSpan(0.0, 1.0, busy_slots=3, capacity_slots=4, phase=Phase.GENERATION)
+        assert span.utilization == 0.75
+        assert span.duration == 1.0
+
+    def test_zero_capacity(self):
+        span = UtilSpan(0.0, 1.0, busy_slots=0, capacity_slots=0, phase=Phase.GENERATION)
+        assert span.utilization == 0.0
+
+
+class TestUtilizationTracker:
+    def test_mean_weighted_by_time(self):
+        tracker = UtilizationTracker()
+        tracker.record(UtilSpan(0, 1, 4, 4, Phase.GENERATION))
+        tracker.record(UtilSpan(1, 4, 1, 4, Phase.GENERATION))
+        # (1.0*1 + 0.25*3) / 4 = 0.4375
+        assert tracker.mean_utilization(Phase.GENERATION) == pytest.approx(0.4375)
+
+    def test_phase_filter(self):
+        tracker = UtilizationTracker()
+        tracker.record(UtilSpan(0, 1, 4, 4, Phase.GENERATION))
+        tracker.record(UtilSpan(1, 2, 1, 4, Phase.VERIFICATION))
+        assert tracker.mean_utilization(Phase.VERIFICATION) == 0.25
+
+    def test_empty_is_zero(self):
+        assert UtilizationTracker().mean_utilization() == 0.0
+
+    def test_zero_duration_ignored(self):
+        tracker = UtilizationTracker()
+        tracker.record(UtilSpan(1, 1, 2, 4, Phase.GENERATION))
+        assert tracker.spans == []
+
+    def test_invalid_span_rejected(self):
+        tracker = UtilizationTracker()
+        with pytest.raises(ValueError):
+            tracker.record(UtilSpan(1, 0, 1, 4, Phase.GENERATION))
+        with pytest.raises(ValueError):
+            tracker.record(UtilSpan(0, 1, 5, 4, Phase.GENERATION))
+
+    def test_sample_trace(self):
+        tracker = UtilizationTracker()
+        tracker.record(UtilSpan(0, 1, 4, 4, Phase.GENERATION))
+        tracker.record(UtilSpan(1, 2, 2, 4, Phase.GENERATION))
+        grid, values = tracker.sample_trace(0.0, 2.0, 5)
+        assert len(grid) == len(values) == 5
+        assert values[0] == 1.0
+        assert values[2] == 0.5  # t=1.0 falls in the second span
+
+
+class TestPhaseTimer:
+    def test_accumulates(self):
+        timer = PhaseTimer()
+        timer.add(Phase.GENERATION, 1.0)
+        timer.add(Phase.GENERATION, 2.0)
+        timer.add(Phase.SWAP, 0.5)
+        assert timer.get(Phase.GENERATION) == 3.0
+        assert timer.total == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().add(Phase.SWAP, -1.0)
+
+
+class TestTokenCounters:
+    def test_speculation_efficiency(self):
+        counters = TokenCounters(speculative_used=30, speculative_wasted=10)
+        assert counters.speculation_efficiency == 0.75
+
+    def test_efficiency_zero_when_no_speculation(self):
+        assert TokenCounters().speculation_efficiency == 0.0
+
+    def test_total_generated(self):
+        counters = TokenCounters(committed=10, speculative_used=5, speculative_wasted=3)
+        assert counters.total_generated == 18

@@ -1,0 +1,91 @@
+"""Tests for structured serving traces."""
+
+import json
+
+import pytest
+
+from repro.core.config import baseline_config, fasttts_config
+from repro.core.server import TTSServer
+from repro.engine.tracing import SolveTrace, TraceEvent
+from repro.search.beam_search import BeamSearch
+from repro.workloads.datasets import build_dataset
+
+
+class TestSolveTrace:
+    def test_record_and_query(self):
+        trace = SolveTrace("p0")
+        trace.record(0.0, "generation_round", 0, decoded_tokens=10)
+        trace.record(1.0, "verification_round", 0, jobs=4)
+        trace.record(2.0, "generation_round", 1, decoded_tokens=5)
+        assert trace.rounds() == 2
+        assert len(trace.of_kind("verification_round")) == 1
+
+    def test_event_json(self):
+        event = TraceEvent(time=1.234567891, kind="swap", round_idx=-1,
+                           payload={"to": "verifier"})
+        record = json.loads(event.to_json())
+        assert record["kind"] == "swap"
+        assert record["to"] == "verifier"
+        assert record["time"] == pytest.approx(1.234568)
+
+    def test_dump_jsonl(self, tmp_path):
+        trace = SolveTrace("p0")
+        trace.record(0.0, "selection", 0, kept=2)
+        path = trace.dump(tmp_path / "trace.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2  # header + 1 event
+        header = json.loads(lines[0])
+        assert header["problem_id"] == "p0"
+        assert header["events"] == 1
+
+
+class TestServerTracing:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        dataset = build_dataset("amc23", seed=3, size=1)
+        server = TTSServer(fasttts_config(memory_fraction=0.4), dataset)
+        return server.solve_detailed(list(dataset)[0], BeamSearch(n=16), trace=True)
+
+    def test_trace_attached(self, traced):
+        assert traced.trace is not None
+        assert traced.trace.rounds() >= 1
+
+    def test_round_structure(self, traced):
+        gen = traced.trace.of_kind("generation_round")
+        ver = traced.trace.of_kind("verification_round")
+        assert len(gen) == len(ver)  # beam search verifies every round
+        for event in gen:
+            assert event.payload["active_beams"] > 0
+            assert event.payload["round_time"] >= 0
+
+    def test_times_monotone(self, traced):
+        times = [e.time for e in traced.trace.events]
+        assert times == sorted(times)
+
+    def test_lookahead_flows_into_cached_scores(self, traced):
+        """Scores pre-computed at round r are consumed at round r+1."""
+        ver = traced.trace.of_kind("verification_round")
+        produced = sum(e.payload["lookahead_scores"] for e in ver)
+        consumed = sum(e.payload["cached_scores"] for e in ver)
+        assert produced > 0
+        assert 0 < consumed <= produced
+
+    def test_untraced_by_default(self):
+        dataset = build_dataset("amc23", seed=3, size=1)
+        server = TTSServer(baseline_config(memory_fraction=0.4), dataset)
+        outcome = server.solve_detailed(list(dataset)[0], BeamSearch(n=8))
+        assert outcome.trace is None
+
+    def test_offload_swaps_traced(self):
+        from repro.core.config import OffloadMode
+
+        dataset = build_dataset("amc23", seed=3, size=1)
+        server = TTSServer(
+            fasttts_config(memory_fraction=0.4, offload=OffloadMode.FORCE), dataset
+        )
+        outcome = server.solve_detailed(
+            list(dataset)[0], BeamSearch(n=8), trace=True
+        )
+        swaps = outcome.trace.of_kind("swap")
+        assert swaps
+        assert all(s.payload["seconds"] > 0 for s in swaps)

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.dataset == "aime24"
+        assert args.n == 16
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--device", "tpu-v9"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "rtx4090" in out
+        assert "beam_search" in out
+
+    def test_straggler(self, capsys):
+        assert main(["straggler", "--dataset", "amc23"]) == 0
+        out = capsys.readouterr().out
+        assert "idle" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "--memory-fraction", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "allocator plan" in out
+
+    def test_solve_small(self, capsys):
+        code = main([
+            "solve", "--dataset", "amc23", "-n", "8",
+            "--memory-fraction", "0.4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goodput gain" in out
+        assert "baseline" in out and "fasttts" in out

@@ -1,0 +1,55 @@
+"""Tests for the results exporter."""
+
+import json
+
+from repro.experiments.export import ResultsWriter, export_figure
+
+
+class TestResultsWriter:
+    def test_write_rows_jsonl(self, tmp_path):
+        writer = ResultsWriter(tmp_path)
+        path = writer.write_rows("fig12", [["a", 1, 2.5], ["b", 2, 3.5]],
+                                 ["config", "n", "gain"])
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"config": "a", "n": 1, "gain": 2.5}
+
+    def test_write_table(self, tmp_path):
+        writer = ResultsWriter(tmp_path)
+        path = writer.write_table("fig12", "| a | b |")
+        assert path.read_text().startswith("| a | b |")
+
+    def test_write_index(self, tmp_path):
+        writer = ResultsWriter(tmp_path)
+        path = writer.write_index({"fig12": {"status": "ok"}})
+        assert json.loads(path.read_text())["fig12"]["status"] == "ok"
+
+    def test_export_figure(self, tmp_path):
+        writer = ResultsWriter(tmp_path)
+        produced = export_figure(
+            "fig10",
+            {"rows": [[1.0, 2, 3, 0.5]], "table": "table text"},
+            writer,
+        )
+        assert set(produced) == {"jsonl", "table"}
+        record = json.loads((tmp_path / "fig10.jsonl").read_text())
+        assert record["kv_budget_gb"] == 1.0
+
+    def test_export_figure_numpy_and_dataclass(self, tmp_path):
+        import numpy as np
+
+        from repro.metrics.latency import LatencyBreakdown
+
+        writer = ResultsWriter(tmp_path)
+        rows = [[np.float64(1.5), LatencyBreakdown(1.0, 0.5, 0.5)]]
+        writer.write_rows("mixed", rows, ["x", "lat"])
+        record = json.loads((tmp_path / "mixed.jsonl").read_text())
+        assert record["x"] == 1.5
+        assert record["lat"]["total"] == 1.0
+
+    def test_unknown_figure_gets_generic_header(self, tmp_path):
+        writer = ResultsWriter(tmp_path)
+        export_figure("custom", {"rows": [[1, 2]], "table": "t"}, writer)
+        record = json.loads((tmp_path / "custom.jsonl").read_text())
+        assert record == {"col0": 1, "col1": 2}

@@ -1,0 +1,35 @@
+"""Tests for the PCIe offload transfer model."""
+
+import pytest
+
+from repro.hardware.device import DeviceSpec
+from repro.hardware.offload import OffloadLink
+
+device = DeviceSpec("t", vram_bytes=1024**3, peak_flops=1e12,
+                    mem_bandwidth=1e11, pcie_bandwidth=10e9)
+
+
+class TestOffloadLink:
+    def test_zero_bytes_is_free(self):
+        assert OffloadLink(device).transfer_time(0) == 0.0
+
+    def test_transfer_includes_fixed_latency(self):
+        link = OffloadLink(device, fixed_latency=1e-3)
+        assert link.transfer_time(1) >= 1e-3
+
+    def test_bandwidth_term(self):
+        link = OffloadLink(device, fixed_latency=0.0)
+        assert link.transfer_time(10_000_000_000) == pytest.approx(1.0)
+
+    def test_swap_is_two_transfers(self):
+        link = OffloadLink(device, fixed_latency=0.0)
+        swap = link.swap_time(5_000_000_000, 5_000_000_000)
+        assert swap == pytest.approx(1.0)
+
+    def test_negative_bytes_raise(self):
+        with pytest.raises(ValueError):
+            OffloadLink(device).transfer_time(-1)
+
+    def test_monotone_in_bytes(self):
+        link = OffloadLink(device)
+        assert link.transfer_time(2_000_000) > link.transfer_time(1_000_000)

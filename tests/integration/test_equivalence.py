@@ -1,0 +1,133 @@
+"""Algorithmic-equivalence tests: the paper's central correctness claim.
+
+FastTTS promises that its optimizations change *timing only*: the search
+selects the same beams, collects the same answers, and assigns the same
+scores as the naive baseline. Because every stochastic draw in this
+reproduction is keyed, we can assert that exactly — against the baseline
+server AND against a serving-free pure reference implementation.
+"""
+
+import pytest
+
+from repro.core.config import OffloadMode, baseline_config, fasttts_config
+from repro.core.server import TTSServer
+from repro.experiments.reference import pure_search
+from repro.search.registry import build_algorithm
+from repro.workloads.datasets import build_dataset
+
+N = 16
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("aime24", seed=SEED, size=2)
+
+
+@pytest.fixture(scope="module")
+def problem(dataset):
+    return list(dataset)[0]
+
+
+def collected_signature(paths):
+    return sorted(
+        (p.lineage, p.total_tokens, p.answer, p.answer_correct, tuple(p.scores))
+        for p in paths
+    )
+
+
+ALGORITHMS = ["best_of_n", "beam_search", "dvts", "dynamic_branching",
+              "varying_granularity"]
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_fasttts_matches_baseline(dataset, problem, algorithm_name):
+    """Same collected beams: lineages, token counts, answers, scores."""
+    algo = build_algorithm(algorithm_name, N)
+    base = TTSServer(
+        baseline_config(memory_fraction=0.4, seed=SEED), dataset
+    ).solve_detailed(problem, algo)
+    fast = TTSServer(
+        fasttts_config(memory_fraction=0.4, seed=SEED), dataset
+    ).solve_detailed(problem, algo)
+    assert collected_signature(base.collected) == collected_signature(fast.collected)
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_servers_match_pure_reference(dataset, problem, algorithm_name):
+    """The serving system implements exactly the abstract search loop."""
+    algo = build_algorithm(algorithm_name, N)
+    reference = pure_search(problem, dataset, algo, seed=SEED)
+    served = TTSServer(
+        fasttts_config(memory_fraction=0.4, seed=SEED), dataset
+    ).solve_detailed(problem, build_algorithm(algorithm_name, N))
+    ref_sig = sorted((p.lineage, p.total_tokens, p.answer) for p in reference.collected)
+    srv_sig = sorted((p.lineage, p.total_tokens, p.answer) for p in served.collected)
+    assert ref_sig == srv_sig
+
+
+@pytest.mark.parametrize(
+    "flags",
+    [
+        dict(prefix_caching=True),
+        dict(prefix_caching=True, prefix_aware=True),
+        dict(prefix_caching=True, prefix_aware=True, asymmetric_alloc=True),
+        dict(prefix_caching=True, speculation=True),
+        dict(prefix_caching=True, speculation=True, lookahead=True,
+             spec_truncation_ratio=0.0),
+        dict(prefix_caching=True, speculation=True, lookahead=True,
+             spec_truncation_ratio=1.0),
+        dict(offload=OffloadMode.FORCE),
+    ],
+)
+def test_every_optimization_stage_is_equivalent(dataset, problem, flags):
+    """Each ablation stage (Fig. 16) preserves the search exactly."""
+    algo = build_algorithm("beam_search", N)
+    base = TTSServer(
+        baseline_config(memory_fraction=0.4, seed=SEED), dataset
+    ).solve_detailed(problem, algo)
+    staged = TTSServer(
+        baseline_config(memory_fraction=0.4, seed=SEED, **flags), dataset
+    ).solve_detailed(problem, algo)
+    assert collected_signature(base.collected) == collected_signature(staged.collected)
+
+
+def test_memory_pressure_does_not_change_results(dataset, problem):
+    """Waves, evictions and preemptions are timing-only effects."""
+    algo = build_algorithm("beam_search", 32)
+    ample = TTSServer(
+        fasttts_config(memory_fraction=0.9, seed=SEED), dataset
+    ).solve_detailed(problem, algo)
+    scarce = TTSServer(
+        fasttts_config(memory_fraction=0.35, seed=SEED), dataset
+    ).solve_detailed(problem, algo)
+    assert collected_signature(ample.collected) == collected_signature(
+        scarce.collected
+    )
+
+
+def test_device_does_not_change_results(dataset, problem):
+    """Hardware changes simulated time, never search outcomes."""
+    algo = build_algorithm("beam_search", N)
+    on_4090 = TTSServer(
+        fasttts_config(device_name="rtx4090", memory_fraction=0.4, seed=SEED),
+        dataset,
+    ).solve_detailed(problem, algo)
+    on_4070 = TTSServer(
+        fasttts_config(device_name="rtx4070ti", memory_fraction=0.8, seed=SEED),
+        dataset,
+    ).solve_detailed(problem, algo)
+    assert collected_signature(on_4090.collected) == collected_signature(
+        on_4070.collected
+    )
+
+
+def test_accuracy_identical_between_servers(dataset):
+    """Fig. 14: Top-1 equality holds problem by problem."""
+    algo = build_algorithm("beam_search", N)
+    base_server = TTSServer(baseline_config(memory_fraction=0.4, seed=SEED), dataset)
+    fast_server = TTSServer(fasttts_config(memory_fraction=0.4, seed=SEED), dataset)
+    for problem in dataset:
+        base = base_server.solve(problem, algo)
+        fast = fast_server.solve(problem, algo)
+        assert base.top1_correct == fast.top1_correct

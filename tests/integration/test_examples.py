@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are documentation that compiles; if the public API drifts, these
+fail before a user ever does. Scripts run in-process via runpy with a
+patched argv (and small scales where supported).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(monkeypatch, capsys, name: str, argv: list[str] | None = None):
+    monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py")
+    assert "goodput gain" in out
+    assert "best beam" in out
+
+
+def test_math_reasoning_small(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "math_reasoning.py",
+        ["--problems", "1", "--n", "8"],
+    )
+    assert "aime24" in out and "amc23" in out
+    assert "gain" in out
+
+
+def test_code_generation(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "code_generation.py")
+    assert "HumanEval" in out
+    assert "goodput gain" in out
+
+
+def test_edge_deployment(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "edge_deployment.py")
+    assert "rtx3070ti" in out
+    assert "rtx4090" in out
+
+
+def test_custom_search(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "custom_search.py")
+    assert "identical beams under both systems: True" in out
+
+
+@pytest.mark.slow
+def test_run_all_experiments_driver(monkeypatch, capsys, tmp_path):
+    """The artifact driver runs a fast subset and writes its outputs."""
+    monkeypatch.setattr(sys, "argv", [
+        "run_all_experiments.py", "--exp", "--figures", "fig6", "fig10",
+        "--results-dir", str(tmp_path),
+    ])
+    root = Path(__file__).resolve().parents[2]
+    with pytest.raises(SystemExit) as excinfo:
+        runpy.run_path(str(root / "run_all_experiments.py"), run_name="__main__")
+    assert excinfo.value.code == 0
+    assert (tmp_path / "index.json").exists()
+    assert (tmp_path / "fig10.jsonl").exists()

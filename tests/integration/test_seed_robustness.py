@@ -1,0 +1,40 @@
+"""Seed robustness: the headline results are not one seed's luck."""
+
+import pytest
+
+from repro.experiments import ExperimentSpec, run_pair
+
+
+@pytest.mark.parametrize("seed", [1, 2024])
+def test_goodput_gain_across_seeds(seed):
+    spec = ExperimentSpec(
+        dataset_name="aime24", dataset_size=2, model_config="1.5B+1.5B",
+        algorithm="beam_search", n=32, seed=seed,
+    )
+    pair = run_pair(spec)
+    assert pair.goodput_gain > 1.1
+    assert pair.latency_reduction > 0.1
+    assert pair.verifier_latency_reduction > 0.4
+    # equivalence holds at every seed
+    assert pair.baseline.top1_accuracy == pair.fasttts.top1_accuracy
+
+
+@pytest.mark.parametrize("seed", [7, 99])
+def test_equivalence_across_seeds(seed):
+    from repro.core.config import baseline_config, fasttts_config
+    from repro.core.server import TTSServer
+    from repro.search.registry import build_algorithm
+    from repro.workloads.datasets import build_dataset
+
+    dataset = build_dataset("amc23", seed=seed, size=1)
+    problem = list(dataset)[0]
+    algo = build_algorithm("dvts", 16)
+    base = TTSServer(
+        baseline_config(memory_fraction=0.4, seed=seed), dataset
+    ).solve_detailed(problem, algo)
+    fast = TTSServer(
+        fasttts_config(memory_fraction=0.4, seed=seed), dataset
+    ).solve_detailed(problem, algo)
+    assert sorted((p.lineage, p.answer) for p in base.collected) == sorted(
+        (p.lineage, p.answer) for p in fast.collected
+    )

@@ -1,0 +1,101 @@
+"""Tests for the simulated step-structured generator."""
+
+import numpy as np
+import pytest
+
+from repro.llm.generator import SimulatedGenerator
+from repro.models.zoo import QWEN25_MATH_1P5B, SKYWORK_PRM_1P5B
+from repro.utils.rng import KeyedRng
+from repro.workloads.datasets import build_dataset
+
+
+@pytest.fixture
+def dataset():
+    return build_dataset("aime24", seed=3, size=2)
+
+
+@pytest.fixture
+def generator(dataset):
+    return SimulatedGenerator(QWEN25_MATH_1P5B, dataset, KeyedRng(3))
+
+
+@pytest.fixture
+def problem(dataset):
+    return list(dataset)[0]
+
+
+class TestPlanStep:
+    def test_deterministic(self, generator, problem):
+        a = generator.plan_step(problem, (0,), 0)
+        b = generator.plan_step(problem, (0,), 0)
+        assert a == b
+
+    def test_schedule_invariant(self, generator, problem):
+        """Interleaving other plan calls never changes a step."""
+        first = generator.plan_step(problem, (1,), 2)
+        for i in range(20):
+            generator.plan_step(problem, (i + 50,), 0)
+        assert generator.plan_step(problem, (1,), 2) == first
+
+    def test_token_bounds(self, generator, problem, dataset):
+        for i in range(100):
+            plan = generator.plan_step(problem, (i,), 0)
+            assert dataset.step_model.min_tokens <= plan.n_tokens
+            assert plan.n_tokens <= dataset.step_model.max_tokens
+
+    def test_step_cap_applies(self, generator, problem):
+        plan = generator.plan_step(problem, (0,), 0, max_step_tokens=64)
+        assert plan.n_tokens <= 64
+
+    def test_cap_does_not_change_soundness(self, generator, problem):
+        capped = generator.plan_step(problem, (0,), 0, max_step_tokens=16)
+        free = generator.plan_step(problem, (0,), 0)
+        assert capped.soundness == free.soundness
+        assert capped.is_terminal == free.is_terminal
+
+    def test_negative_step_raises(self, generator, problem):
+        with pytest.raises(ValueError):
+            generator.plan_step(problem, (0,), -1)
+
+    def test_heavy_tail(self, generator, problem):
+        """Fig. 3 right: outlier steps dwarf the average."""
+        lengths = [generator.plan_step(problem, (i,), 0).n_tokens for i in range(400)]
+        assert max(lengths) > 3 * np.mean(lengths)
+
+
+class TestTermination:
+    def test_max_steps_forces_terminal(self, generator, problem, dataset):
+        lineage = tuple(0 for _ in range(dataset.max_steps))
+        plan = generator.plan_step(problem, lineage, dataset.max_steps - 1)
+        assert plan.is_terminal
+
+    def test_before_min_steps_never_terminal(self, generator, problem, dataset):
+        for i in range(50):
+            plan = generator.plan_step(problem, (i,), 0)
+            if dataset.min_steps > 1:
+                assert not plan.is_terminal
+
+    def test_sound_paths_terminate_sooner(self, generator, problem, dataset):
+        """The latency mechanism behind Fig. 3's method ordering."""
+        step = dataset.min_steps  # first round where termination is possible
+        outcomes = []
+        for i in range(800):
+            lineage = tuple([i] + [0] * step)
+            plan = generator.plan_step(problem, lineage, step)
+            outcomes.append((plan.soundness, plan.is_terminal))
+        sound = [t for s, t in outcomes if s > 0.5]
+        unsound = [t for s, t in outcomes if s < -0.5]
+        assert np.mean(sound) > np.mean(unsound)
+
+
+class TestRoleValidation:
+    def test_verifier_model_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            SimulatedGenerator(SKYWORK_PRM_1P5B, dataset, KeyedRng(0))
+
+
+class TestFinalAnswer:
+    def test_final_answer_deterministic(self, generator, problem):
+        assert generator.final_answer(problem, (0,), 0.3) == generator.final_answer(
+            problem, (0,), 0.3
+        )

@@ -1,0 +1,140 @@
+"""Tests for the latent quality oracle."""
+
+import numpy as np
+import pytest
+
+from repro.llm.oracle import (
+    QualityOracle,
+    generator_skill,
+    sigmoid,
+    verifier_noise_scale,
+)
+from repro.models.zoo import (
+    MATH_SHEPHERD_7B,
+    QWEN25_MATH_1P5B,
+    QWEN25_MATH_7B,
+    SKYWORK_PRM_1P5B,
+)
+from repro.utils.rng import KeyedRng
+from repro.workloads.datasets import build_dataset
+
+
+@pytest.fixture
+def problem():
+    return list(build_dataset("aime24", seed=1, size=1))[0]
+
+
+@pytest.fixture
+def oracle():
+    return QualityOracle(rng=KeyedRng(42))
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(0.0) == 0.5
+
+    def test_symmetry(self):
+        assert sigmoid(2.0) + sigmoid(-2.0) == pytest.approx(1.0)
+
+    def test_extremes_stable(self):
+        assert sigmoid(1000.0) == pytest.approx(1.0)
+        assert sigmoid(-1000.0) == pytest.approx(0.0)
+
+
+class TestModelScaling:
+    def test_bigger_generator_is_better(self):
+        assert generator_skill(QWEN25_MATH_7B) > generator_skill(QWEN25_MATH_1P5B)
+
+    def test_bigger_verifier_is_sharper(self):
+        assert verifier_noise_scale(MATH_SHEPHERD_7B) < verifier_noise_scale(
+            SKYWORK_PRM_1P5B
+        )
+
+    def test_reference_anchor(self):
+        assert generator_skill(QWEN25_MATH_1P5B) == pytest.approx(0.90, abs=0.02)
+
+
+class TestSoundness:
+    def test_deterministic(self, oracle, problem):
+        a = oracle.step_soundness(problem, (0,), 0, skill=1.0)
+        b = oracle.step_soundness(problem, (0,), 0, skill=1.0)
+        assert a == b
+
+    def test_distinct_per_step(self, oracle, problem):
+        assert oracle.step_soundness(problem, (0,), 0, 1.0) != oracle.step_soundness(
+            problem, (0,), 1, 1.0
+        )
+
+    def test_skill_shifts_mean(self, oracle, problem):
+        weak = [oracle.step_soundness(problem, (i,), 0, 0.0) for i in range(300)]
+        strong = [oracle.step_soundness(problem, (i,), 0, 2.0) for i in range(300)]
+        assert np.mean(strong) - np.mean(weak) == pytest.approx(2.0, abs=0.2)
+
+    def test_approach_persists_within_subtree(self, oracle, problem):
+        """Steps in one subtree share the approach offset."""
+        a = oracle.approach_quality(problem, (3,))
+        b = oracle.approach_quality(problem, (3, 1, 0))
+        assert a == b
+
+    def test_approaches_differ_across_subtrees(self, oracle, problem):
+        assert oracle.approach_quality(problem, (0,)) != oracle.approach_quality(
+            problem, (1,)
+        )
+
+    def test_root_has_no_approach(self, oracle, problem):
+        assert oracle.approach_quality(problem, ()) == 0.0
+
+
+class TestSubtreeBias:
+    def test_bias_shared_in_subtree(self, oracle, problem):
+        assert oracle.subtree_bias(problem, (2, 0)) == oracle.subtree_bias(
+            problem, (2, 1, 1)
+        )
+
+    def test_bias_zero_at_root(self, oracle, problem):
+        assert oracle.subtree_bias(problem, ()) == 0.0
+
+
+class TestAnswers:
+    def test_correct_answer_matches_truth(self, oracle, problem):
+        for i in range(200):
+            correct, answer = oracle.emit_answer(problem, (i,), mean_soundness=5.0)
+            assert correct and answer == problem.answer
+
+    def test_wrong_answers_never_hit_truth(self, oracle, problem):
+        for i in range(200):
+            correct, answer = oracle.emit_answer(problem, (i,), mean_soundness=-5.0)
+            assert not correct and answer != problem.answer
+
+    def test_answers_in_domain(self, oracle, problem):
+        for i in range(100):
+            _, answer = oracle.emit_answer(problem, (i,), mean_soundness=0.0)
+            assert 0 <= answer <= 999
+
+    def test_wrong_answers_cluster_on_distractors(self, oracle, problem):
+        """Most wrong answers land in the problem's distractor pool."""
+        pool = set(oracle.distractors(problem))
+        wrong = [
+            oracle.emit_answer(problem, (i,), mean_soundness=-5.0)[1]
+            for i in range(400)
+        ]
+        in_pool = sum(1 for w in wrong if w in pool)
+        assert in_pool / len(wrong) > 0.5
+
+    def test_votes_correlate_within_subtree(self, oracle, problem):
+        """Paths of one subtree agree more often than across subtrees."""
+        same, cross = [], []
+        for i in range(100):
+            a = oracle.emit_answer(problem, (0, i), mean_soundness=0.0)[1]
+            b = oracle.emit_answer(problem, (0, i + 1000), mean_soundness=0.0)[1]
+            c = oracle.emit_answer(problem, (1, i), mean_soundness=0.0)[1]
+            same.append(a == b)
+            cross.append(a == c)
+        assert np.mean(same) > np.mean(cross)
+
+    def test_correctness_probability_monotone(self, oracle):
+        probs = [oracle.correctness_probability(q) for q in (-2.0, 0.0, 2.0)]
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_distractors_stable(self, oracle, problem):
+        assert oracle.distractors(problem) == oracle.distractors(problem)

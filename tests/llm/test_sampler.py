@@ -1,0 +1,78 @@
+"""Tests for the token sampling primitives."""
+
+import numpy as np
+import pytest
+
+from repro.llm.sampler import apply_top_k, apply_top_p, sample_token, sample_tokens
+
+
+@pytest.fixture
+def generator():
+    return np.random.Generator(np.random.PCG64(7))
+
+
+class TestTopK:
+    def test_masks_all_but_k(self):
+        logits = np.array([1.0, 5.0, 3.0, 2.0])
+        out = apply_top_k(logits, 2)
+        assert np.isneginf(out[0]) and np.isneginf(out[3])
+        assert out[1] == 5.0 and out[2] == 3.0
+
+    def test_k_geq_size_is_identity(self):
+        logits = np.array([1.0, 2.0])
+        assert np.array_equal(apply_top_k(logits, 5), logits)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            apply_top_k(np.array([1.0]), 0)
+
+
+class TestTopP:
+    def test_keeps_top_mass(self):
+        logits = np.array([10.0, 0.0, 0.0, 0.0])
+        out = apply_top_p(logits, 0.9)
+        assert np.isfinite(out[0])
+        assert all(np.isneginf(out[1:]))
+
+    def test_always_keeps_best(self):
+        logits = np.array([1.0, 1.0, 1.0])
+        out = apply_top_p(logits, 0.01)
+        assert np.isfinite(out).sum() >= 1
+
+    def test_p_one_is_identity(self):
+        logits = np.array([1.0, 2.0, 3.0])
+        assert np.isfinite(apply_top_p(logits, 1.0)).all()
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            apply_top_p(np.array([1.0]), 0.0)
+
+
+class TestSampleToken:
+    def test_greedy_at_zero_temperature(self, generator):
+        logits = np.array([0.1, 9.0, 0.2])
+        assert sample_token(logits, generator, temperature=0.0) == 1
+
+    def test_respects_top_k(self, generator):
+        logits = np.array([0.0, 10.0, 9.0, 0.0])
+        picks = {sample_token(logits, generator, top_k=2) for _ in range(50)}
+        assert picks <= {1, 2}
+
+    def test_distribution_follows_logits(self, generator):
+        logits = np.array([0.0, 2.0])
+        picks = [sample_token(logits, generator) for _ in range(500)]
+        assert np.mean(picks) > 0.7  # softmax(2)/... ~ 0.88
+
+    def test_rejects_empty(self, generator):
+        with pytest.raises(ValueError):
+            sample_token(np.array([]), generator)
+
+    def test_rejects_negative_temperature(self, generator):
+        with pytest.raises(ValueError):
+            sample_token(np.array([1.0]), generator, temperature=-1.0)
+
+    def test_sample_tokens_count(self, generator):
+        assert len(sample_tokens(np.array([1.0, 2.0]), generator, 7)) == 7
+
+    def test_sample_tokens_zero(self, generator):
+        assert sample_tokens(np.array([1.0]), generator, 0) == []

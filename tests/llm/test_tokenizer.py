@@ -1,0 +1,53 @@
+"""Tests for the synthetic tokenizer."""
+
+import pytest
+
+from repro.llm.tokenizer import SyntheticTokenizer
+from repro.utils.rng import KeyedRng
+
+
+@pytest.fixture
+def tokenizer():
+    return SyntheticTokenizer(vocab_size=512)
+
+
+class TestTokenizer:
+    def test_decode_id_stable(self, tokenizer):
+        assert tokenizer.decode_id(100) == tokenizer.decode_id(100)
+
+    def test_math_tokens_first(self, tokenizer):
+        assert tokenizer.decode_id(0) == "triangle"
+
+    def test_out_of_range_raises(self, tokenizer):
+        with pytest.raises(ValueError):
+            tokenizer.decode_id(512)
+        with pytest.raises(ValueError):
+            tokenizer.decode_id(-1)
+
+    def test_decode_joins(self, tokenizer):
+        text = tokenizer.decode([0, 1])
+        assert text == "triangle circle"
+
+    def test_render_step_deterministic(self, tokenizer):
+        rng = KeyedRng(1)
+        a = tokenizer.render_step(rng, "p1", (0,), 0, 30)
+        b = tokenizer.render_step(rng, "p1", (0,), 0, 30)
+        assert a == b
+
+    def test_render_step_truncation_note(self, tokenizer):
+        rng = KeyedRng(1)
+        text = tokenizer.render_step(rng, "p1", (0,), 0, 100, preview=5)
+        assert "[+95 tokens]" in text
+
+    def test_render_short_step_no_note(self, tokenizer):
+        rng = KeyedRng(1)
+        text = tokenizer.render_step(rng, "p1", (0,), 0, 3, preview=10)
+        assert "tokens]" not in text
+
+    def test_render_negative_raises(self, tokenizer):
+        with pytest.raises(ValueError):
+            tokenizer.render_step(KeyedRng(0), "p", (0,), 0, -1)
+
+    def test_tiny_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTokenizer(vocab_size=3)

@@ -1,0 +1,87 @@
+"""Tests for the FLOPs/bytes cost functions and the phase asymmetry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.device import get_device
+from repro.hardware.roofline import Roofline
+from repro.models.costs import decode_step_cost, prefill_cost
+from repro.models.zoo import QWEN25_MATH_1P5B as MODEL
+
+
+class TestPrefillCost:
+    def test_scales_with_tokens(self):
+        small = prefill_cost(MODEL, 1, 100)
+        large = prefill_cost(MODEL, 1, 200)
+        assert large.flops > small.flops
+        assert large.bytes > small.bytes
+
+    def test_batch_shares_weight_traffic(self):
+        single = prefill_cost(MODEL, 1, 100)
+        batched = prefill_cost(MODEL, 4, 100)
+        # 4x the tokens but only one weight read: bytes grow sub-linearly.
+        assert batched.bytes < 4 * single.bytes
+        assert batched.flops == pytest.approx(4 * single.flops)
+
+    def test_cached_prefix_reduces_nothing_but_adds_reads(self):
+        plain = prefill_cost(MODEL, 1, 100)
+        cached = prefill_cost(MODEL, 1, 100, cached_prefix_len=400)
+        # Cached prefix is read by attention, so bytes and flops grow.
+        assert cached.bytes > plain.bytes
+        assert cached.flops > plain.flops
+
+    def test_rejects_zero_seq(self):
+        with pytest.raises(ValueError):
+            prefill_cost(MODEL, 1, 0)
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            prefill_cost(MODEL, 0, 10)
+
+
+class TestDecodeCost:
+    def test_weight_traffic_dominates_small_batch(self):
+        cost = decode_step_cost(MODEL, 1, 100)
+        assert cost.bytes >= MODEL.weight_bytes
+
+    def test_flops_scale_with_batch(self):
+        one = decode_step_cost(MODEL, 1, 100)
+        eight = decode_step_cost(MODEL, 8, 100)
+        assert eight.flops == pytest.approx(8 * one.flops)
+
+    def test_rejects_negative_cache(self):
+        with pytest.raises(ValueError):
+            decode_step_cost(MODEL, 1, -1.0)
+
+
+class TestPhaseAsymmetry:
+    """The physics behind the whole paper (Fig. 6, Sec. 3.2.3)."""
+
+    def test_decode_memory_bound_prefill_compute_bound(self):
+        roofline = Roofline(get_device("rtx4090"))
+        decode = decode_step_cost(MODEL, 32, 1000)
+        prefill = prefill_cost(MODEL, 8, 512)
+        assert not roofline.point(decode.flops, decode.bytes).compute_bound
+        assert roofline.point(prefill.flops, prefill.bytes).compute_bound
+
+    def test_straggler_waste(self):
+        """A near-empty decode batch costs almost as much per step as a full
+        one — the reason idle slots are pure waste (Sec. 3.2.1)."""
+        roofline = Roofline(get_device("rtx4090"))
+        lone = decode_step_cost(MODEL, 1, 1000)
+        full = decode_step_cost(MODEL, 64, 1000)
+        lone_t = roofline.latency(lone.flops, lone.bytes)
+        full_t = roofline.latency(full.flops, full.bytes)
+        assert lone_t > 0.5 * full_t
+
+    @given(st.integers(1, 256), st.integers(1, 4096))
+    def test_costs_always_positive(self, batch, cache):
+        cost = decode_step_cost(MODEL, batch, float(cache))
+        assert cost.flops > 0 and cost.bytes > 0
+
+    def test_stage_cost_addition(self):
+        a = decode_step_cost(MODEL, 1, 10)
+        total = a + a
+        assert total.flops == 2 * a.flops
+        assert total.bytes == 2 * a.bytes

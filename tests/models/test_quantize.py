@@ -1,0 +1,32 @@
+"""Tests for the quantization cost transform."""
+
+import pytest
+
+from repro.models.quantize import DTYPE_BYTES, quantized
+from repro.models.zoo import QWEN25_MATH_1P5B
+
+
+class TestQuantized:
+    def test_int8_halves_weights_and_kv(self):
+        q = quantized(QWEN25_MATH_1P5B, "int8")
+        assert q.weight_bytes == QWEN25_MATH_1P5B.weight_bytes // 2
+        assert q.kv_bytes_per_token == QWEN25_MATH_1P5B.kv_bytes_per_token // 2
+
+    def test_name_tagged(self):
+        assert quantized(QWEN25_MATH_1P5B, "fp8").name.endswith("-fp8")
+
+    def test_same_dtype_is_identity(self):
+        assert quantized(QWEN25_MATH_1P5B, "fp16") is QWEN25_MATH_1P5B
+
+    def test_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            quantized(QWEN25_MATH_1P5B, "int4")
+
+    def test_dtype_table(self):
+        assert DTYPE_BYTES["fp16"] == 2
+        assert DTYPE_BYTES["int8"] == 1
+
+    def test_architecture_preserved(self):
+        q = quantized(QWEN25_MATH_1P5B, "int8")
+        assert q.n_layers == QWEN25_MATH_1P5B.n_layers
+        assert q.param_count == QWEN25_MATH_1P5B.param_count

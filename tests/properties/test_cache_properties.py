@@ -1,0 +1,145 @@
+"""Property-based tests: paged KV cache invariants under random workloads.
+
+A stateful hypothesis machine drives the cache through random register /
+materialize / extend / unpin / evict sequences and checks the structural
+invariants after every step:
+
+* block accounting is exact (pool allocation == sum of held blocks);
+* a resident segment's parent is resident (KV suffixes are never orphaned);
+* pinned segments are never evicted;
+* the incremental evictable-blocks counter matches a full recount.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import CapacityError
+from repro.kvcache.cache import PagedKVCache
+
+
+class CacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        # ~25 blocks of 16 tokens, kv_bytes_per_token=2
+        self.cache = PagedKVCache(capacity_bytes=25 * 16 * 2, kv_bytes_per_token=2,
+                                  block_tokens=16)
+        self.cache.register_segment(0, None, 16)
+        self.segments = {0: None}  # id -> parent
+        self.pins: dict[int, int] = {}
+        self.next_id = 1
+
+    @rule(parent_rank=st.integers(0, 10_000), tokens=st.integers(1, 64))
+    def register(self, parent_rank, tokens):
+        parent = sorted(self.segments)[parent_rank % len(self.segments)]
+        seg = self.next_id
+        self.next_id += 1
+        self.cache.register_segment(seg, parent, tokens)
+        self.segments[seg] = parent
+
+    @rule(rank=st.integers(0, 10_000), pin=st.booleans())
+    def materialize(self, rank, pin):
+        seg = sorted(self.segments)[rank % len(self.segments)]
+        try:
+            self.cache.materialize(seg, pin=pin)
+        except CapacityError:
+            return
+        if pin:
+            self.pins[seg] = self.pins.get(seg, 0) + 1
+
+    @rule(rank=st.integers(0, 10_000), tokens=st.integers(1, 32))
+    def extend(self, rank, tokens):
+        seg = sorted(self.segments)[rank % len(self.segments)]
+        if not self.cache.is_resident(seg):
+            return
+        if self.cache.tree.get(seg).children:
+            return  # only tails grow
+        try:
+            self.cache.extend_segment(seg, tokens)
+        except CapacityError:
+            pass
+
+    @precondition(lambda self: self.pins)
+    @rule(rank=st.integers(0, 10_000))
+    def unpin(self, rank):
+        pinned = sorted(self.pins)
+        seg = pinned[rank % len(pinned)]
+        self.cache.unpin_path(seg)
+        self.pins[seg] -= 1
+        if self.pins[seg] == 0:
+            del self.pins[seg]
+
+    @rule(rank=st.integers(0, 10_000), tokens=st.integers(0, 16))
+    def truncate(self, rank, tokens):
+        seg = sorted(self.segments)[rank % len(self.segments)]
+        state = self.cache.segment(seg)
+        if self.cache.tree.get(seg).children:
+            return
+        if tokens <= state.token_len:
+            self.cache.truncate_segment(seg, tokens)
+
+    @rule()
+    def evict_everything(self):
+        self.cache.evict_all()
+
+    @invariant()
+    def block_accounting_exact(self):
+        held = sum(
+            self.cache.segment(s).blocks_held
+            for s in self.segments
+            if self.cache.segment(s).resident
+        )
+        assert self.cache.pool.allocated_blocks == held
+
+    @invariant()
+    def resident_parent_invariant(self):
+        for seg, parent in self.segments.items():
+            if parent is None:
+                continue
+            if self.cache.is_resident(seg):
+                assert self.cache.is_resident(parent), (
+                    f"segment {seg} resident without parent {parent}"
+                )
+
+    @invariant()
+    def pinned_stay_resident(self):
+        for seg in self.pins:
+            for node in self.cache.tree.path(seg):
+                assert self.cache.is_resident(node)
+
+    @invariant()
+    def evictable_counter_matches_recount(self):
+        recount = sum(
+            self.cache.segment(s).blocks_held
+            for s in self.segments
+            if self.cache.segment(s).resident
+            and self.cache.segment(s).pin_count == 0
+        )
+        assert self.cache.evictable_blocks == recount
+
+    @invariant()
+    def resident_tokens_matches_recount(self):
+        recount = sum(
+            self.cache.segment(s).token_len
+            for s in self.segments
+            if self.cache.segment(s).resident
+        )
+        assert self.cache.resident_tokens == recount
+
+
+CacheMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestCacheMachine = CacheMachine.TestCase
+
+
+class TestCacheEdges:
+    @pytest.mark.parametrize("block_tokens", [1, 7, 16, 64])
+    def test_block_granularities(self, block_tokens):
+        cache = PagedKVCache(capacity_bytes=1000 * 2, kv_bytes_per_token=2,
+                             block_tokens=block_tokens)
+        cache.register_segment(1, None, 33)
+        outcome = cache.materialize(1)
+        assert outcome.recomputed_tokens == 33
+        assert cache.pool.allocated_blocks == -(-33 // block_tokens)

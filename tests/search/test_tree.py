@@ -1,0 +1,104 @@
+"""Tests for reasoning paths and the segment-id convention."""
+
+import pytest
+
+from repro.search.tree import ReasoningPath, prompt_segment_id, step_segment_id
+from repro.workloads.datasets import build_dataset
+
+
+@pytest.fixture
+def problem():
+    return list(build_dataset("aime24", seed=0, size=1))[0]
+
+
+class TestSegmentIds:
+    def test_prompt_stable(self, problem):
+        assert prompt_segment_id(problem) == prompt_segment_id(problem)
+
+    def test_prefix_sharing_by_construction(self, problem):
+        """Parent and child share segment ids for common history."""
+        parent = (3, 1)
+        child = (3, 1, 0)
+        assert step_segment_id(problem, parent, 0) == step_segment_id(problem, child, 0)
+        assert step_segment_id(problem, parent, 1) == step_segment_id(problem, child, 1)
+
+    def test_siblings_diverge_at_own_step(self, problem):
+        a = step_segment_id(problem, (3, 0), 1)
+        b = step_segment_id(problem, (3, 1), 1)
+        assert a != b
+
+    def test_lineage_too_short_raises(self, problem):
+        with pytest.raises(ValueError):
+            step_segment_id(problem, (0,), 1)
+
+
+class TestReasoningPath:
+    def test_record_and_totals(self):
+        path = ReasoningPath(lineage=(0,))
+        path.record_step(100, 0.5)
+        path.record_step(50, -0.5)
+        assert path.total_tokens == 150
+        assert path.steps_done == 2
+        assert path.mean_soundness == 0.0
+
+    def test_scores_follow_steps(self):
+        path = ReasoningPath(lineage=(0,))
+        path.record_step(10, 0.0)
+        path.record_score(0.7)
+        assert path.last_score == 0.7
+        with pytest.raises(ValueError):
+            path.record_score(0.5)  # no unscored step
+
+    def test_score_bounds(self):
+        path = ReasoningPath(lineage=(0,))
+        path.record_step(10, 0.0)
+        with pytest.raises(ValueError):
+            path.record_score(1.5)
+
+    def test_child_inherits_history(self):
+        path = ReasoningPath(lineage=(1,))
+        path.record_step(10, 0.2)
+        path.record_score(0.6)
+        child = path.make_child(2)
+        assert child.lineage == (1, 2)
+        assert child.step_tokens == [10]
+        assert child.scores == [0.6]
+
+    def test_child_history_is_copied(self):
+        path = ReasoningPath(lineage=(1,))
+        path.record_step(10, 0.2)
+        child = path.make_child(0)
+        child.record_step(5, 0.1)
+        assert path.steps_done == 1
+
+    def test_terminal_cannot_branch(self):
+        path = ReasoningPath(lineage=(0,), terminal=True)
+        with pytest.raises(ValueError):
+            path.make_child(0)
+
+    def test_segment_ids_cover_history(self, problem):
+        path = ReasoningPath(lineage=(2, 1))
+        path.record_step(10, 0.0)
+        path.record_step(20, 0.0)
+        segments = path.segment_ids(problem)
+        assert len(segments) == 3  # prompt + 2 steps
+        assert segments[0] == prompt_segment_id(problem)
+
+    def test_sort_key_orders_by_score(self):
+        a = ReasoningPath(lineage=(0,))
+        a.record_step(1, 0.0)
+        a.record_score(0.9)
+        b = ReasoningPath(lineage=(1,))
+        b.record_step(1, 0.0)
+        b.record_score(0.2)
+        assert a.sort_key() < b.sort_key()
+
+    def test_final_score_default(self):
+        assert ReasoningPath(lineage=(0,)).final_score == 0.0
+
+    def test_empty_mean_soundness(self):
+        assert ReasoningPath(lineage=(0,)).mean_soundness == 0.0
+
+    def test_zero_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            ReasoningPath(lineage=(0,)).record_step(0, 0.0)

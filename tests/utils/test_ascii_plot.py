@@ -1,0 +1,65 @@
+"""Tests for terminal plots."""
+
+import pytest
+
+from repro.utils.ascii_plot import bar_chart, series_plot
+
+
+class TestBarChart:
+    def test_peak_fills_width(self):
+        out = bar_chart(["small", "big"], [1.0, 4.0], width=8)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 8
+        assert lines[0].count("#") == 2
+
+    def test_values_shown(self):
+        out = bar_chart(["x"], [1234.5], unit=" tok/s")
+        assert "1,234.50 tok/s" in out
+
+    def test_title(self):
+        assert bar_chart(["x"], [1.0], title="T").startswith("T")
+
+    def test_zero_values_safe(self):
+        out = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in out
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+
+class TestSeriesPlot:
+    def test_markers_present(self):
+        out = series_plot({"up": [1, 2, 3, 4], "down": [4, 3, 2, 1]})
+        assert "U" in out and "D" in out
+        assert "U=up" in out and "D=down" in out
+
+    def test_extremes_on_border_rows(self):
+        out = series_plot({"line": [0.0, 10.0]}, height=5)
+        lines = out.splitlines()
+        assert "L" in lines[0]   # max row
+        assert "L" in lines[4]   # min row
+
+    def test_flat_series_safe(self):
+        out = series_plot({"flat": [2.0, 2.0, 2.0]})
+        assert "F" in out
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            series_plot({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            series_plot({"a": [1.0]})
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            series_plot({})
+
+    def test_height_validation(self):
+        with pytest.raises(ValueError):
+            series_plot({"a": [1, 2]}, height=1)
