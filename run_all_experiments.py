@@ -8,6 +8,7 @@ writes JSONL logs plus tables under ``benchmarks/benchmark_results/``.
 Usage::
 
     python run_all_experiments.py --exp              # run everything
+    python run_all_experiments.py --exp --jobs 4     # shard cells over 4 procs
     python run_all_experiments.py --exp --figures fig12 fig13
     python run_all_experiments.py --exp --scale full # paper-scale sweep
     python run_all_experiments.py --list
@@ -15,6 +16,14 @@ Usage::
 ``--scale bench`` (default) uses small problem counts and n grids so the
 whole sweep finishes in minutes on a laptop; ``--scale full`` approaches
 the paper's grid (hours).
+
+Every experiment cell runs through the parallel orchestrator
+(:mod:`repro.experiments.parallel`): ``--jobs N`` shards independent cells
+over N worker processes, and completed cells are memoized in an on-disk
+result cache (default ``benchmarks/benchmark_results/cache/``; override
+with ``--cache-dir`` or ``$REPRO_CACHE_DIR``, disable with ``--no-cache``).
+Because all randomness is hash-keyed, a ``--jobs 4`` run is byte-identical
+to a sequential one, and a second invocation replays entirely from cache.
 """
 
 from __future__ import annotations
@@ -25,6 +34,11 @@ import time
 
 from repro.experiments import figures as F
 from repro.experiments.export import DEFAULT_RESULTS_DIR, ResultsWriter, export_figure
+from repro.experiments.parallel import (
+    ParallelOrchestrator,
+    ResultCache,
+    use_orchestrator,
+)
 
 # Each entry: figure id -> (callable, bench kwargs, full kwargs, extra outputs)
 EXPERIMENTS: dict[str, dict] = {
@@ -132,9 +146,35 @@ def _render_plots(figure_id: str, output: dict) -> None:
         pass  # plots are best-effort garnish on top of the tables
 
 
-def run(figure_ids: list[str], scale: str, results_dir: str) -> int:
+def run(
+    figure_ids: list[str],
+    scale: str,
+    results_dir: str,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> int:
     writer = ResultsWriter(results_dir)
     index: dict[str, dict] = {}
+    failures = 0
+    with ParallelOrchestrator(jobs=jobs, cache=cache) as orchestrator:
+        with use_orchestrator(orchestrator):
+            failures = _run_figures(figure_ids, scale, writer, index)
+    writer.write_index(index)
+    if cache is not None:
+        print(
+            f"\nresult cache: {cache.hits} hits, {cache.misses} misses "
+            f"under {cache.directory}/"
+        )
+    print(f"results written under {writer.directory}/")
+    return failures
+
+
+def _run_figures(
+    figure_ids: list[str],
+    scale: str,
+    writer: ResultsWriter,
+    index: dict[str, dict],
+) -> int:
     failures = 0
     for figure_id in figure_ids:
         entry = EXPERIMENTS[figure_id]
@@ -167,8 +207,6 @@ def run(figure_ids: list[str], scale: str, results_dir: str) -> int:
             **produced,
         }
         print(f"[{figure_id} done in {elapsed:.1f}s]")
-    writer.write_index(index)
-    print(f"\nresults written under {writer.directory}/")
     return failures
 
 
@@ -181,6 +219,14 @@ def main() -> int:
                         help="subset of figure ids (default: all)")
     parser.add_argument("--scale", choices=("bench", "full"), default="bench")
     parser.add_argument("--results-dir", default=str(DEFAULT_RESULTS_DIR))
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes to shard experiment cells across")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default: "
+                             "benchmarks/benchmark_results/cache or "
+                             "$REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="run every cell even if a cached result exists")
     args = parser.parse_args()
 
     if args.list:
@@ -194,7 +240,8 @@ def main() -> int:
     if unknown:
         print(f"unknown figures: {unknown}; use --list")
         return 2
-    return run(figure_ids, args.scale, args.results_dir)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return run(figure_ids, args.scale, args.results_dir, jobs=args.jobs, cache=cache)
 
 
 if __name__ == "__main__":

@@ -6,6 +6,16 @@ Commands
     List registered devices, models, datasets, and search algorithms.
 ``solve``
     Serve one problem and print the FastTTS-vs-baseline comparison.
+``sweep``
+    Baseline-vs-FastTTS beam sweep through the parallel orchestrator:
+    ``--jobs N`` shards cells over worker processes, and completed cells
+    are memoized in the on-disk result cache (default
+    ``benchmarks/benchmark_results/cache/``; ``--cache-dir`` /
+    ``$REPRO_CACHE_DIR`` override, ``--no-cache`` disables).
+``fleet``
+    Multi-request serving: queue a stream of solve requests with simulated
+    arrival times onto one device and report fleet metrics (request
+    throughput, p50/p95 queueing delay, busy fraction).
 ``report``
     Deployment feasibility + roofline report for a config on a device.
 ``straggler``
@@ -20,8 +30,16 @@ import sys
 from repro.analysis.reports import deployment_report
 from repro.analysis.straggler import idle_fraction
 from repro.core.config import baseline_config, fasttts_config
+from repro.core.fleet import TTSFleet, generate_arrivals
 from repro.core.server import TTSServer
+from repro.experiments.parallel import (
+    ParallelOrchestrator,
+    ResultCache,
+    use_orchestrator,
+)
+from repro.experiments.runner import ExperimentSpec, sweep_n
 from repro.hardware.device import list_devices
+from repro.metrics.goodput import format_gain, throughput_gain
 from repro.models.zoo import list_models
 from repro.search.registry import build_algorithm, list_algorithms
 from repro.utils.tables import render_table
@@ -39,7 +57,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    dataset = build_dataset(args.dataset, seed=args.seed, size=max(1, args.problem + 1))
+    if args.problem < 0:
+        print(
+            f"error: --problem must be a non-negative index, got {args.problem}",
+            file=sys.stderr,
+        )
+        return 2
+    dataset = build_dataset(args.dataset, seed=args.seed, size=args.problem + 1)
     problem = list(dataset)[args.problem]
     algorithm = build_algorithm(args.algorithm, args.n)
     rows = []
@@ -65,8 +89,73 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         title=(f"{problem.problem_id} | {args.config} on {args.device} "
                f"| {args.algorithm} n={args.n}"),
     ))
-    gain = rows[1][1] / rows[0][1] if rows[0][1] else float("inf")
-    print(f"goodput gain: {gain:.2f}x")
+    gain = throughput_gain(rows[1][1], rows[0][1])
+    print(f"goodput gain: {format_gain(gain)}x")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.problems < 1:
+        print(f"error: --problems must be >= 1, got {args.problems}", file=sys.stderr)
+        return 2
+    spec = ExperimentSpec(
+        dataset_name=args.dataset,
+        dataset_size=args.problems,
+        model_config=args.config,
+        device_name=args.device,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        memory_fraction=args.memory_fraction,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    with ParallelOrchestrator(jobs=args.jobs, cache=cache) as orchestrator:
+        with use_orchestrator(orchestrator):
+            pairs = sweep_n(spec, list(args.n_values))
+    print(render_table(
+        ["config", "dataset", "algorithm", "n", "baseline tok/s",
+         "fasttts tok/s", "gain x", "latency -%"],
+        [pair.summary_row() for pair in pairs],
+        title=(f"sweep: {args.config} on {args.device} | {args.algorithm} "
+               f"| {args.problems} problems | jobs={args.jobs}"),
+    ))
+    if cache is not None:
+        print(
+            f"result cache: {cache.hits} hits, {cache.misses} misses "
+            f"under {cache.directory}/"
+        )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.requests < 1:
+        print(f"error: --requests must be >= 1, got {args.requests}", file=sys.stderr)
+        return 2
+    factory = fasttts_config if args.system == "fasttts" else baseline_config
+    config = factory(
+        device_name=args.device,
+        model_config=args.config,
+        memory_fraction=args.memory_fraction,
+        seed=args.seed,
+    )
+    dataset = build_dataset(args.dataset, seed=args.seed, size=args.requests)
+    fleet = TTSFleet(config, dataset, max_in_flight=args.max_in_flight)
+    arrivals = generate_arrivals(
+        args.requests, args.rate, seed=args.seed, distribution=args.arrivals
+    )
+    algorithm = build_algorithm(args.algorithm, args.n)
+    fleet.submit_stream(list(dataset), algorithm, arrivals)
+    report = fleet.drain()
+    print(report.table(
+        title=(f"fleet: {args.requests} requests @ {args.rate}/s "
+               f"({args.arrivals}) | {args.system} {args.config} "
+               f"on {args.device} | {args.algorithm} n={args.n}"),
+    ))
+    rejected = [r for r in report.records if not r.accepted]
+    for record in rejected:
+        print(f"rejected {record.request_id}: {record.reject_reason}")
     return 0
 
 
@@ -115,6 +204,50 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--memory-fraction", type=float, default=0.4)
     solve.add_argument("--seed", type=int, default=0)
 
+    sweep = sub.add_parser(
+        "sweep", help="parallel cached baseline-vs-fasttts beam sweep"
+    )
+    sweep.add_argument("--dataset", default="aime24", choices=list_datasets())
+    sweep.add_argument("--config", default="1.5B+1.5B")
+    sweep.add_argument("--device", default="rtx4090", choices=list_devices())
+    sweep.add_argument("--algorithm", default="beam_search",
+                       choices=list_algorithms())
+    sweep.add_argument("--n-values", type=int, nargs="+", default=[4, 8, 16],
+                       help="beam budgets to sweep")
+    sweep.add_argument("--problems", type=int, default=2)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes to shard cells across")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result-cache directory (default: "
+                            "benchmarks/benchmark_results/cache or "
+                            "$REPRO_CACHE_DIR)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="run every cell even if cached")
+    sweep.add_argument("--memory-fraction", type=float, default=None,
+                       help="override the paper's per-config memory fraction")
+    sweep.add_argument("--seed", type=int, default=0)
+
+    fleet = sub.add_parser(
+        "fleet", help="serve a multi-request stream and report fleet metrics"
+    )
+    fleet.add_argument("--dataset", default="amc23", choices=list_datasets())
+    fleet.add_argument("--config", default="1.5B+1.5B")
+    fleet.add_argument("--device", default="rtx4090", choices=list_devices())
+    fleet.add_argument("--algorithm", default="beam_search",
+                       choices=list_algorithms())
+    fleet.add_argument("-n", type=int, default=8)
+    fleet.add_argument("--requests", type=int, default=6)
+    fleet.add_argument("--rate", type=float, default=0.02,
+                       help="arrival rate in requests per simulated second")
+    fleet.add_argument("--arrivals", choices=("poisson", "uniform"),
+                       default="poisson")
+    fleet.add_argument("--system", choices=("baseline", "fasttts"),
+                       default="fasttts")
+    fleet.add_argument("--max-in-flight", type=int, default=None,
+                       help="admission-control cap on queued+running requests")
+    fleet.add_argument("--memory-fraction", type=float, default=0.4)
+    fleet.add_argument("--seed", type=int, default=0)
+
     report = sub.add_parser("report", help="deployment feasibility report")
     report.add_argument("--config", default="1.5B+1.5B")
     report.add_argument("--device", default="rtx4090", choices=list_devices())
@@ -131,6 +264,8 @@ def build_parser() -> argparse.ArgumentParser:
 _HANDLERS = {
     "info": _cmd_info,
     "solve": _cmd_solve,
+    "sweep": _cmd_sweep,
+    "fleet": _cmd_fleet,
     "report": _cmd_report,
     "straggler": _cmd_straggler,
 }

@@ -7,6 +7,7 @@ from repro.core.allocator import (
     static_split_plan,
 )
 from repro.core.config import OffloadMode, ServerConfig, baseline_config, fasttts_config
+from repro.core.fleet import FleetReport, FleetRequest, TTSFleet, generate_arrivals
 from repro.core.generation_round import (
     ChildStepPlan,
     GenerationRound,
@@ -31,6 +32,10 @@ __all__ = [
     "fasttts_config",
     "TTSServer",
     "SolveOutcome",
+    "TTSFleet",
+    "FleetRequest",
+    "FleetReport",
+    "generate_arrivals",
     "AllocationPlan",
     "WorkloadProfile",
     "RooflineAllocator",

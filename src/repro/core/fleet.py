@@ -1,0 +1,247 @@
+"""Multi-request serving: ``TTSFleet`` multiplexes queued solves on one device.
+
+The figure experiments measure one solve at a time; a deployed edge system
+sees a *stream* of requests. ``TTSFleet`` adds that serving dimension on
+top of :class:`~repro.core.server.TTSServer` without touching the solve
+loop:
+
+* requests carry **arrival times on the fleet's shared**
+  :class:`~repro.engine.clock.SimClock`; service is FIFO in arrival order
+  (batch size 1, the paper's interactive edge scenario);
+* an arrival that lands *during* a solve preempts Phase-2 speculation via
+  the server's existing arrival hook (Sec. 4.1.2), so a busy fleet
+  automatically sheds speculative work;
+* **admission control**: a request whose beam budget cannot be planned
+  inside the KV budget is rejected up front (:class:`CapacityError` from
+  the allocator), as is any arrival that would exceed ``max_in_flight``
+  queued-plus-running requests;
+* the run aggregates into :class:`~repro.metrics.fleet.FleetMetrics` —
+  request throughput, p50/p95 queueing delay, busy fraction.
+
+Everything stays simulated and deterministic: a fleet run is a pure
+function of (config, dataset, submitted requests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ServerConfig
+from repro.core.server import TTSServer
+from repro.engine.clock import SimClock
+from repro.errors import CapacityError
+from repro.metrics.fleet import FleetMetrics, FleetRequestRecord
+from repro.metrics.report import ProblemRunResult
+from repro.search.base import SearchAlgorithm
+from repro.utils.rng import KeyedRng
+from repro.workloads.problem import Dataset, Problem
+
+__all__ = ["FleetRequest", "FleetReport", "TTSFleet", "generate_arrivals"]
+
+
+def generate_arrivals(
+    count: int,
+    rate_rps: float,
+    seed: int = 0,
+    distribution: str = "poisson",
+) -> tuple[float, ...]:
+    """Deterministic arrival-time generator for fleet workloads.
+
+    ``"poisson"`` draws exponential inter-arrival gaps at ``rate_rps`` from
+    a keyed stream (same seed, same arrivals — everywhere); ``"uniform"``
+    spaces requests exactly ``1/rate_rps`` apart.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if distribution == "uniform":
+        return tuple(i / rate_rps for i in range(count))
+    if distribution == "poisson":
+        stream = KeyedRng(seed).stream("fleet-arrivals", count, rate_rps)
+        gaps = stream.exponential(1.0 / rate_rps, size=count)
+        times, now = [], 0.0
+        for gap in gaps:
+            now += float(gap)
+            times.append(now)
+        return tuple(times)
+    raise ValueError(f"unknown arrival distribution {distribution!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class FleetRequest:
+    """One queued solve: a problem, its search budget, and when it arrived."""
+
+    request_id: str
+    problem: Problem
+    algorithm: SearchAlgorithm
+    arrival_s: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class FleetReport:
+    """Everything one drained fleet run produced."""
+
+    records: tuple[FleetRequestRecord, ...]
+    results: dict[str, ProblemRunResult] = field(default_factory=dict)
+
+    @property
+    def metrics(self) -> FleetMetrics:
+        return FleetMetrics.aggregate(self.records)
+
+    def table(self, title: str | None = None) -> str:
+        return self.metrics.table(title=title)
+
+
+class TTSFleet:
+    """FIFO multiplexing of many solve requests over one simulated device.
+
+    Submit requests (``submit`` / ``submit_stream``), then ``drain()`` to
+    simulate the whole run and collect the :class:`FleetReport`. The fleet
+    owns a shared :class:`SimClock`; per-request solve latencies come from
+    the underlying server and are stitched onto that clock.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        dataset: Dataset,
+        max_in_flight: int | None = None,
+    ) -> None:
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1 when set")
+        self._server = TTSServer(config, dataset)
+        self._clock = SimClock()
+        self._max_in_flight = max_in_flight
+        self._queue: list[FleetRequest] = []
+        self._next_id = 0
+        # Allocation feasibility is a pure function of n for a fixed
+        # dataset, so admission memoizes the (often expensive) plan search.
+        self._kv_verdicts: dict[int, str | None] = {}
+
+    # -- submission ------------------------------------------------------
+
+    @property
+    def server(self) -> TTSServer:
+        return self._server
+
+    @property
+    def clock(self) -> SimClock:
+        return self._clock
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def submit(
+        self,
+        problem: Problem,
+        algorithm: SearchAlgorithm,
+        arrival_s: float = 0.0,
+    ) -> str:
+        """Queue one request; returns its fleet-assigned id."""
+        request_id = f"req-{self._next_id:04d}"
+        self._next_id += 1
+        self._queue.append(
+            FleetRequest(
+                request_id=request_id,
+                problem=problem,
+                algorithm=algorithm,
+                arrival_s=arrival_s,
+            )
+        )
+        return request_id
+
+    def submit_stream(
+        self,
+        problems: list[Problem],
+        algorithm: SearchAlgorithm,
+        arrivals: tuple[float, ...] | list[float],
+    ) -> list[str]:
+        """Queue one request per problem with the given arrival times."""
+        if len(problems) != len(arrivals):
+            raise ValueError("problems and arrivals must have the same length")
+        return [
+            self.submit(problem, algorithm, arrival_s=arrival)
+            for problem, arrival in zip(problems, arrivals)
+        ]
+
+    # -- the serving loop ------------------------------------------------
+
+    def _admit(self, request: FleetRequest, finish_times: list[float]) -> str | None:
+        """Admission control at arrival; returns a reject reason or ``None``."""
+        if self._max_in_flight is not None:
+            in_flight = sum(1 for f in finish_times if f > request.arrival_s)
+            if in_flight >= self._max_in_flight:
+                return f"queue full (max_in_flight={self._max_in_flight})"
+        n = request.algorithm.n
+        if n not in self._kv_verdicts:
+            try:
+                self._server.plan_allocation(n)
+            except CapacityError as error:
+                self._kv_verdicts[n] = f"KV budget: {error}"
+            else:
+                self._kv_verdicts[n] = None
+        return self._kv_verdicts[n]
+
+    def drain(self) -> FleetReport:
+        """Serve every queued request in arrival order and aggregate.
+
+        Arrivals landing during a solve are handed to the server's
+        preemption hook (relative to that solve's start), so speculation
+        halts as soon as the fleet has a waiting customer — the same
+        minimal-residual-work policy as ``TTSServer.serve_stream``.
+        """
+        order = sorted(
+            range(len(self._queue)), key=lambda i: (self._queue[i].arrival_s, i)
+        )
+        requests = [self._queue[i] for i in order]
+        self._queue = []
+
+        records: list[FleetRequestRecord] = []
+        results: dict[str, ProblemRunResult] = {}
+        finish_times: list[float] = []
+        for index, request in enumerate(requests):
+            reason = self._admit(request, finish_times)
+            if reason is not None:
+                records.append(
+                    FleetRequestRecord(
+                        request_id=request.request_id,
+                        arrival_s=request.arrival_s,
+                        start_s=request.arrival_s,
+                        finish_s=request.arrival_s,
+                        accepted=False,
+                        reject_reason=reason,
+                    )
+                )
+                continue
+            start = max(self._clock.now, request.arrival_s)
+            # Later arrivals expressed on the request's own clock (t=0 at
+            # service start); non-positive offsets mean someone is already
+            # waiting and speculation never starts.
+            pending_offsets = tuple(
+                later.arrival_s - start for later in requests[index + 1:]
+            )
+            result = self._server.solve(
+                request.problem, request.algorithm, arrivals=pending_offsets
+            )
+            if start > self._clock.now:
+                self._clock.advance(start - self._clock.now)  # idle gap
+            self._clock.advance(result.latency.total)
+            finish = self._clock.now
+            finish_times.append(finish)
+            results[request.request_id] = result
+            records.append(
+                FleetRequestRecord(
+                    request_id=request.request_id,
+                    arrival_s=request.arrival_s,
+                    start_s=start,
+                    finish_s=finish,
+                    latency=result.latency,
+                )
+            )
+        return FleetReport(records=tuple(records), results=results)

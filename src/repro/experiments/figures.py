@@ -21,7 +21,6 @@ from repro.core.prefix_sched import (
     random_order,
     worst_case_order,
 )
-from repro.core.server import TTSServer
 from repro.engine.telemetry import Phase
 from repro.experiments.reference import pure_search
 from repro.experiments.runner import (
@@ -29,6 +28,7 @@ from repro.experiments.runner import (
     PairResult,
     run_metrics,
     run_pair,
+    run_problem,
     sweep_n,
 )
 from repro.hardware.device import get_device
@@ -155,9 +155,7 @@ def fig3_step_lengths(
 def fig4_phase_utilization(n: int = 32, seed: int = 0) -> dict:
     """GPU occupancy: decaying during generation, flat-high in verification."""
     spec = ExperimentSpec(dataset_name="aime24", dataset_size=1, n=n, seed=seed)
-    dataset = spec.build_dataset()
-    server = TTSServer(spec.build_config(fast=False), dataset)
-    result = server.solve(list(dataset)[0], build_algorithm("beam_search", n))
+    result = run_problem(spec, spec.build_config(fast=False))
     gen_util = mean_phase_utilization(result.util_spans, Phase.GENERATION)
     ver_util = mean_phase_utilization(result.util_spans, Phase.VERIFICATION)
     gen_decay = decay_ratio(result.util_spans, Phase.GENERATION)
@@ -504,13 +502,8 @@ def fig17_speculation(
         n=n, seed=seed,
     )
     dataset = spec.build_dataset()
-    problem = list(dataset)[0]
-    algorithm = build_algorithm("beam_search", n)
-
-    base_server = TTSServer(spec.build_config(fast=False), dataset)
-    base_result = base_server.solve(problem, algorithm)
-    fast_server = TTSServer(spec.build_config(fast=True), dataset)
-    fast_result = fast_server.solve(problem, algorithm)
+    base_result = run_problem(spec, spec.build_config(fast=False), dataset=dataset)
+    fast_result = run_problem(spec, spec.build_config(fast=True), dataset=dataset)
     base_util = mean_phase_utilization(base_result.util_spans, Phase.GENERATION)
     fast_util = mean_phase_utilization(fast_result.util_spans, Phase.GENERATION)
 

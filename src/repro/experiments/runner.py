@@ -2,7 +2,16 @@
 
 One :class:`ExperimentSpec` names everything a run needs; ``run_metrics``
 executes it and aggregates; ``run_pair`` produces the baseline-vs-FastTTS
-comparison almost every figure reports.
+comparison almost every figure reports; ``run_problem`` solves a single
+problem of the spec's dataset (the per-problem deep dives).
+
+Every entry point routes through the *active orchestrator* when one is
+installed (see :mod:`repro.experiments.parallel`): a process-pool
+orchestrator shards cells across workers and answers repeats from its
+on-disk result cache, without the call sites changing. Because every
+stochastic quantity in the simulation is hash-keyed (:mod:`repro.utils.rng`),
+a cell's result is a pure function of ``(spec, config)`` — parallel and
+cached runs are bit-identical to sequential ones.
 """
 
 from __future__ import annotations
@@ -11,12 +20,23 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.config import ServerConfig, baseline_config, fasttts_config
 from repro.core.server import TTSServer
+from repro.metrics.goodput import format_gain, throughput_gain
 from repro.metrics.report import ProblemRunResult, RunMetrics
 from repro.search.registry import build_algorithm
 from repro.workloads.datasets import build_dataset
 from repro.workloads.problem import Dataset
 
-__all__ = ["ExperimentSpec", "run_metrics", "run_pair", "PairResult", "MEMORY_FRACTIONS"]
+__all__ = [
+    "ExperimentSpec",
+    "run_metrics",
+    "run_pair",
+    "run_problem",
+    "sweep_n",
+    "PairResult",
+    "MEMORY_FRACTIONS",
+    "active_orchestrator",
+    "set_active_orchestrator",
+]
 
 # The paper's per-configuration memory settings (Sec. 6.1): the two heavy
 # pairings get 90% of GPU memory to test throughput limits; the 1.5B+1.5B
@@ -26,6 +46,23 @@ MEMORY_FRACTIONS = {
     "1.5B+7B": 0.90,
     "7B+1.5B": 0.90,
 }
+
+# The active orchestrator, installed by repro.experiments.parallel. ``None``
+# means direct sequential execution in this process.
+_ACTIVE_ORCHESTRATOR = None
+
+
+def set_active_orchestrator(orchestrator):
+    """Install an orchestrator for all runner entry points; returns the old one."""
+    global _ACTIVE_ORCHESTRATOR
+    previous = _ACTIVE_ORCHESTRATOR
+    _ACTIVE_ORCHESTRATOR = orchestrator
+    return previous
+
+
+def active_orchestrator():
+    """The orchestrator currently routing runner calls, or ``None``."""
+    return _ACTIVE_ORCHESTRATOR
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,6 +87,9 @@ class ExperimentSpec:
     def build_dataset(self) -> Dataset:
         return build_dataset(self.dataset_name, seed=self.seed, size=self.dataset_size)
 
+    def build_algorithm(self):
+        return build_algorithm(self.algorithm, self.n, **self.algorithm_kwargs)
+
     def build_config(self, fast: bool, **overrides) -> ServerConfig:
         base_kwargs = dict(
             device_name=self.device_name,
@@ -66,12 +106,56 @@ def run_metrics(
     config: ServerConfig,
     dataset: Dataset | None = None,
 ) -> tuple[RunMetrics, list[ProblemRunResult]]:
-    """Run one server over the spec's dataset and aggregate."""
+    """Run one server over the spec's dataset and aggregate.
+
+    With an active orchestrator the cell may be answered from the result
+    cache, in which case the per-problem result list is empty (only the
+    aggregate is cached).
+    """
+    if _ACTIVE_ORCHESTRATOR is not None:
+        return _ACTIVE_ORCHESTRATOR.run_metrics(spec, config, dataset)
+    return run_metrics_sequential(spec, config, dataset)
+
+
+def run_metrics_sequential(
+    spec: ExperimentSpec,
+    config: ServerConfig,
+    dataset: Dataset | None = None,
+) -> tuple[RunMetrics, list[ProblemRunResult]]:
+    """The direct in-process execution path (never consults an orchestrator)."""
     data = dataset if dataset is not None else spec.build_dataset()
     server = TTSServer(config, data)
-    algorithm = build_algorithm(spec.algorithm, spec.n, **spec.algorithm_kwargs)
-    results = server.run(list(data), algorithm)
+    results = server.run(list(data), spec.build_algorithm())
     return RunMetrics.aggregate(results), results
+
+
+def run_problem(
+    spec: ExperimentSpec,
+    config: ServerConfig,
+    problem_index: int = 0,
+    dataset: Dataset | None = None,
+) -> ProblemRunResult:
+    """Solve one problem of the spec's dataset (cached when orchestrated)."""
+    if _ACTIVE_ORCHESTRATOR is not None:
+        return _ACTIVE_ORCHESTRATOR.run_problem(spec, config, problem_index, dataset)
+    return run_problem_sequential(spec, config, problem_index, dataset)
+
+
+def run_problem_sequential(
+    spec: ExperimentSpec,
+    config: ServerConfig,
+    problem_index: int = 0,
+    dataset: Dataset | None = None,
+) -> ProblemRunResult:
+    data = dataset if dataset is not None else spec.build_dataset()
+    problems = list(data)
+    if not 0 <= problem_index < len(problems):
+        raise IndexError(
+            f"problem_index {problem_index} out of range for a dataset of "
+            f"{len(problems)} problems"
+        )
+    server = TTSServer(config, data)
+    return server.solve(problems[problem_index], spec.build_algorithm())
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,9 +168,7 @@ class PairResult:
 
     @property
     def goodput_gain(self) -> float:
-        if self.baseline.goodput == 0:
-            return float("inf")
-        return self.fasttts.goodput / self.baseline.goodput
+        return throughput_gain(self.fasttts.goodput, self.baseline.goodput)
 
     @property
     def latency_reduction(self) -> float:
@@ -119,7 +201,7 @@ class PairResult:
             self.spec.n,
             round(self.baseline.goodput, 2),
             round(self.fasttts.goodput, 2),
-            round(self.goodput_gain, 2),
+            format_gain(self.goodput_gain),
             round(self.latency_reduction * 100, 1),
         ]
 
@@ -128,13 +210,27 @@ def run_pair(
     spec: ExperimentSpec,
     baseline_overrides: dict | None = None,
     fast_overrides: dict | None = None,
+    dataset: Dataset | None = None,
 ) -> PairResult:
     """Run the baseline and FastTTS on identical workloads."""
-    dataset = spec.build_dataset()
+    if _ACTIVE_ORCHESTRATOR is not None:
+        return _ACTIVE_ORCHESTRATOR.run_pair(
+            spec, baseline_overrides, fast_overrides, dataset
+        )
+    return run_pair_sequential(spec, baseline_overrides, fast_overrides, dataset)
+
+
+def run_pair_sequential(
+    spec: ExperimentSpec,
+    baseline_overrides: dict | None = None,
+    fast_overrides: dict | None = None,
+    dataset: Dataset | None = None,
+) -> PairResult:
+    data = dataset if dataset is not None else spec.build_dataset()
     base_cfg = spec.build_config(fast=False, **(baseline_overrides or {}))
     fast_cfg = spec.build_config(fast=True, **(fast_overrides or {}))
-    base_metrics, _ = run_metrics(spec, base_cfg, dataset)
-    fast_metrics, _ = run_metrics(spec, fast_cfg, dataset)
+    base_metrics, _ = run_metrics_sequential(spec, base_cfg, data)
+    fast_metrics, _ = run_metrics_sequential(spec, fast_cfg, data)
     return PairResult(spec=spec, baseline=base_metrics, fasttts=fast_metrics)
 
 
@@ -143,5 +239,17 @@ def sweep_n(
     n_values: list[int],
     **pair_kwargs,
 ) -> list[PairResult]:
-    """The figures' common x-axis: a sweep over the number of beams."""
-    return [run_pair(replace(spec, n=n), **pair_kwargs) for n in n_values]
+    """The figures' common x-axis: a sweep over the number of beams.
+
+    The dataset is built once per sweep and threaded through every pair:
+    ``n`` never changes the problem set, so all points see the identical
+    workload by construction, and the sweep skips redundant dataset
+    synthesis.
+    """
+    if _ACTIVE_ORCHESTRATOR is not None:
+        return _ACTIVE_ORCHESTRATOR.sweep_n(spec, n_values, **pair_kwargs)
+    dataset = pair_kwargs.pop("dataset", None) or spec.build_dataset()
+    return [
+        run_pair_sequential(replace(spec, n=n), dataset=dataset, **pair_kwargs)
+        for n in n_values
+    ]

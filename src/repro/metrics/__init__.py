@@ -1,7 +1,13 @@
-"""Evaluation metrics: precise goodput, latency, accuracy, utilization."""
+"""Evaluation metrics: goodput, latency, accuracy, utilization, fleet load."""
 
 from repro.metrics.accuracy import majority_answer, pass_at_n, top1_correct
-from repro.metrics.goodput import BeamRecord, precise_goodput
+from repro.metrics.fleet import FleetMetrics, FleetRequestRecord
+from repro.metrics.goodput import (
+    BeamRecord,
+    format_gain,
+    precise_goodput,
+    throughput_gain,
+)
 from repro.metrics.latency import LatencyBreakdown, mean_breakdown
 from repro.metrics.report import ProblemRunResult, RunMetrics
 from repro.metrics.utilization import (
@@ -13,6 +19,10 @@ from repro.metrics.utilization import (
 __all__ = [
     "BeamRecord",
     "precise_goodput",
+    "throughput_gain",
+    "format_gain",
+    "FleetMetrics",
+    "FleetRequestRecord",
     "LatencyBreakdown",
     "mean_breakdown",
     "majority_answer",

@@ -1,0 +1,115 @@
+"""Fleet-level serving metrics: request throughput and queueing delay.
+
+Single-request metrics (goodput, latency) describe how fast one solve is;
+a serving system is judged by how it behaves under *load*. This module
+aggregates a fleet run — many queued solve requests multiplexed over one
+device — into the quantities a serving evaluation reports: completed
+request throughput, the p50/p95 queueing delay distribution, and the
+device's busy fraction over the run's makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrics.latency import LatencyBreakdown
+from repro.utils.stats import percentile
+from repro.utils.tables import render_table
+
+__all__ = ["FleetRequestRecord", "FleetMetrics"]
+
+
+@dataclass(frozen=True, slots=True)
+class FleetRequestRecord:
+    """One request's life cycle on the fleet's shared clock.
+
+    ``arrival_s``/``start_s``/``finish_s`` are times on the fleet's
+    :class:`~repro.engine.clock.SimClock`. Rejected requests (admission
+    control) carry ``accepted=False`` and a ``reject_reason``; their
+    ``start_s``/``finish_s`` equal the arrival time and they contribute to
+    no latency statistic.
+    """
+
+    request_id: str
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    accepted: bool = True
+    reject_reason: str | None = None
+    latency: LatencyBreakdown | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        if self.accepted and self.start_s < self.arrival_s:
+            raise ValueError("service cannot start before arrival")
+        if self.accepted and self.finish_s < self.start_s:
+            raise ValueError("service cannot finish before it starts")
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Seconds spent waiting for the device after arriving."""
+        return self.start_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        """Seconds of device time the request consumed."""
+        return self.finish_s - self.start_s
+
+
+@dataclass(frozen=True, slots=True)
+class FleetMetrics:
+    """Aggregate serving behaviour of one fleet run."""
+
+    requests: int
+    completed: int
+    rejected: int
+    makespan_s: float
+    throughput_rps: float
+    queue_delay_mean_s: float
+    queue_delay_p50_s: float
+    queue_delay_p95_s: float
+    service_mean_s: float
+    busy_fraction: float
+
+    @classmethod
+    def aggregate(cls, records: Sequence[FleetRequestRecord]) -> "FleetMetrics":
+        """Pool per-request records into the fleet-level quantities."""
+        if not records:
+            raise ValueError("cannot aggregate an empty fleet run")
+        accepted = [r for r in records if r.accepted]
+        rejected = len(records) - len(accepted)
+        makespan = max((r.finish_s for r in accepted), default=0.0)
+        delays = [r.queue_delay_s for r in accepted]
+        services = [r.service_s for r in accepted]
+        busy = sum(services)
+        return cls(
+            requests=len(records),
+            completed=len(accepted),
+            rejected=rejected,
+            makespan_s=makespan,
+            throughput_rps=(len(accepted) / makespan) if makespan > 0 else 0.0,
+            queue_delay_mean_s=(sum(delays) / len(delays)) if delays else 0.0,
+            queue_delay_p50_s=percentile(delays, 50.0) if delays else 0.0,
+            queue_delay_p95_s=percentile(delays, 95.0) if delays else 0.0,
+            service_mean_s=(sum(services) / len(services)) if services else 0.0,
+            busy_fraction=(busy / makespan) if makespan > 0 else 0.0,
+        )
+
+    def summary_rows(self) -> list[list[object]]:
+        return [
+            ["requests", self.requests],
+            ["completed", self.completed],
+            ["rejected", self.rejected],
+            ["makespan s", round(self.makespan_s, 2)],
+            ["throughput req/s", round(self.throughput_rps, 4)],
+            ["queue delay mean s", round(self.queue_delay_mean_s, 2)],
+            ["queue delay p50 s", round(self.queue_delay_p50_s, 2)],
+            ["queue delay p95 s", round(self.queue_delay_p95_s, 2)],
+            ["service mean s", round(self.service_mean_s, 2)],
+            ["busy fraction", round(self.busy_fraction, 3)],
+        ]
+
+    def table(self, title: str | None = None) -> str:
+        return render_table(["metric", "value"], self.summary_rows(), title=title)

@@ -12,10 +12,11 @@ single slow path and to text copied during branching.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-__all__ = ["BeamRecord", "precise_goodput"]
+__all__ = ["BeamRecord", "precise_goodput", "throughput_gain", "format_gain"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,3 +45,26 @@ def precise_goodput(beams: Sequence[BeamRecord] | Iterable[BeamRecord]) -> float
     avg_tokens = sum(b.tokens for b in beam_list) / len(beam_list)
     avg_time = sum(b.completion_time for b in beam_list) / len(beam_list)
     return avg_tokens / avg_time
+
+
+def throughput_gain(new: float, baseline: float) -> float:
+    """Ratio ``new / baseline`` with the degenerate zero cases pinned down.
+
+    The single place defining what a gain means when a run collected no
+    tokens: both sides zero is a wash (1.0); a zero baseline against real
+    throughput is an unbounded gain (``inf``). Callers render the infinite
+    case through :func:`format_gain` so ``round()`` never propagates ``inf``
+    into tables.
+    """
+    if baseline == 0.0:
+        return 1.0 if new == 0.0 else float("inf")
+    return new / baseline
+
+
+def format_gain(gain: float, digits: int = 2) -> float | str:
+    """Table-ready rendering of a gain ratio: finite → rounded, else ``"inf"``."""
+    if math.isinf(gain):
+        return "inf"
+    if math.isnan(gain):
+        return "nan"
+    return round(gain, digits)

@@ -38,6 +38,24 @@ class LatencyBreakdown:
             return 0.0
         return self.verification / self.total
 
+    def to_json_dict(self) -> dict:
+        """Plain-data form for the on-disk result cache (exact floats)."""
+        return {
+            "total": self.total,
+            "generation": self.generation,
+            "verification": self.verification,
+            "swap": self.swap,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "LatencyBreakdown":
+        return cls(
+            total=payload["total"],
+            generation=payload["generation"],
+            verification=payload["verification"],
+            swap=payload.get("swap", 0.0),
+        )
+
 
 def mean_breakdown(breakdowns: Iterable[LatencyBreakdown]) -> LatencyBreakdown:
     """Arithmetic mean per component over a non-empty collection."""

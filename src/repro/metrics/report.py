@@ -45,6 +45,87 @@ class ProblemRunResult:
     def top1_correct(self) -> bool:
         return top1_correct(self.beams)
 
+    def to_json_dict(self) -> dict:
+        """Plain-data form for the on-disk result cache.
+
+        Floats survive the JSON round trip exactly (``repr`` round-tripping),
+        so a cached result is byte-identical to a fresh run when re-rendered.
+        """
+        return {
+            "problem_id": self.problem_id,
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "beams": [
+                {
+                    "lineage": list(b.lineage),
+                    "tokens": b.tokens,
+                    "completion_time": b.completion_time,
+                    "answer": b.answer,
+                    "correct": b.correct,
+                    "score": b.score,
+                }
+                for b in self.beams
+            ],
+            "latency": self.latency.to_json_dict(),
+            "tokens": {
+                "committed": self.tokens.committed,
+                "speculative_used": self.tokens.speculative_used,
+                "speculative_wasted": self.tokens.speculative_wasted,
+                "recomputed": self.tokens.recomputed,
+            },
+            "util_spans": [
+                {
+                    "t_start": s.t_start,
+                    "t_end": s.t_end,
+                    "busy_slots": s.busy_slots,
+                    "capacity_slots": s.capacity_slots,
+                    "phase": s.phase.value,
+                    "speculative_slots": s.speculative_slots,
+                }
+                for s in self.util_spans
+            ],
+            "gen_cache_hit_rate": self.gen_cache_hit_rate,
+            "ver_cache_hit_rate": self.ver_cache_hit_rate,
+            "gen_evicted_segments": self.gen_evicted_segments,
+            "ver_evicted_segments": self.ver_evicted_segments,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ProblemRunResult":
+        return cls(
+            problem_id=payload["problem_id"],
+            algorithm=payload["algorithm"],
+            n=payload["n"],
+            beams=tuple(
+                BeamRecord(
+                    lineage=tuple(b["lineage"]),
+                    tokens=b["tokens"],
+                    completion_time=b["completion_time"],
+                    answer=b["answer"],
+                    correct=b["correct"],
+                    score=b["score"],
+                )
+                for b in payload["beams"]
+            ),
+            latency=LatencyBreakdown.from_json_dict(payload["latency"]),
+            tokens=TokenCounters(**payload["tokens"]),
+            util_spans=tuple(
+                UtilSpan(
+                    t_start=s["t_start"],
+                    t_end=s["t_end"],
+                    busy_slots=s["busy_slots"],
+                    capacity_slots=s["capacity_slots"],
+                    phase=Phase(s["phase"]),
+                    speculative_slots=s["speculative_slots"],
+                )
+                for s in payload["util_spans"]
+            ),
+            gen_cache_hit_rate=payload["gen_cache_hit_rate"],
+            ver_cache_hit_rate=payload["ver_cache_hit_rate"],
+            gen_evicted_segments=payload["gen_evicted_segments"],
+            ver_evicted_segments=payload["ver_evicted_segments"],
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class RunMetrics:
@@ -95,6 +176,38 @@ class RunMetrics:
             ver_cache_hit_rate=(
                 sum(r.ver_cache_hit_rate for r in results) / len(results)
             ),
+        )
+
+    def to_json_dict(self) -> dict:
+        """Plain-data form for the on-disk result cache (exact floats)."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "problem_count": self.problem_count,
+            "goodput": self.goodput,
+            "latency": self.latency.to_json_dict(),
+            "top1_accuracy": self.top1_accuracy,
+            "pass_at": {str(k): v for k, v in self.pass_at.items()},
+            "generation_utilization": self.generation_utilization,
+            "speculation_efficiency": self.speculation_efficiency,
+            "gen_cache_hit_rate": self.gen_cache_hit_rate,
+            "ver_cache_hit_rate": self.ver_cache_hit_rate,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "RunMetrics":
+        return cls(
+            algorithm=payload["algorithm"],
+            n=payload["n"],
+            problem_count=payload["problem_count"],
+            goodput=payload["goodput"],
+            latency=LatencyBreakdown.from_json_dict(payload["latency"]),
+            top1_accuracy=payload["top1_accuracy"],
+            pass_at={int(k): v for k, v in payload["pass_at"].items()},
+            generation_utilization=payload["generation_utilization"],
+            speculation_efficiency=payload["speculation_efficiency"],
+            gen_cache_hit_rate=payload["gen_cache_hit_rate"],
+            ver_cache_hit_rate=payload["ver_cache_hit_rate"],
         )
 
     def summary_row(self) -> list[object]:

@@ -1,0 +1,134 @@
+"""Tests for the multi-request fleet serving loop."""
+
+import pytest
+
+from repro.core.config import baseline_config, fasttts_config
+from repro.core.fleet import FleetRequest, TTSFleet, generate_arrivals
+from repro.metrics.fleet import FleetMetrics, FleetRequestRecord
+from repro.search.registry import build_algorithm
+from repro.workloads.datasets import build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("amc23", seed=0, size=3)
+
+
+def _drain(dataset, rate_rps, n=4, fast=False, **fleet_kwargs):
+    factory = fasttts_config if fast else baseline_config
+    config = factory(memory_fraction=0.4, seed=0)
+    fleet = TTSFleet(config, dataset, **fleet_kwargs)
+    algorithm = build_algorithm("beam_search", n)
+    arrivals = generate_arrivals(len(dataset), rate_rps, distribution="uniform")
+    fleet.submit_stream(list(dataset), algorithm, arrivals)
+    return fleet.drain()
+
+
+class TestGenerateArrivals:
+    def test_uniform_spacing(self):
+        assert generate_arrivals(3, 0.5, distribution="uniform") == (0.0, 2.0, 4.0)
+
+    def test_poisson_deterministic_and_monotone(self):
+        a = generate_arrivals(6, 0.1, seed=3)
+        b = generate_arrivals(6, 0.1, seed=3)
+        assert a == b
+        assert all(t1 > t0 for t0, t1 in zip(a, a[1:]))
+        assert a != generate_arrivals(6, 0.1, seed=4)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            generate_arrivals(3, 0.0)
+        with pytest.raises(ValueError):
+            generate_arrivals(3, 1.0, distribution="bursty")
+
+
+class TestFleetServing:
+    def test_fifo_records_are_consistent(self, dataset):
+        report = _drain(dataset, rate_rps=0.05)
+        assert len(report.records) == len(dataset)
+        finish = 0.0
+        for record in report.records:
+            assert record.accepted
+            assert record.start_s >= record.arrival_s
+            assert record.start_s >= finish  # one device, FIFO
+            finish = record.finish_s
+            assert record.request_id in report.results
+
+    def test_service_time_matches_solve_latency(self, dataset):
+        report = _drain(dataset, rate_rps=0.001)  # no queueing at this rate
+        for record in report.records:
+            result = report.results[record.request_id]
+            assert record.service_s == pytest.approx(result.latency.total)
+
+    def test_queueing_delay_monotone_in_load(self, dataset):
+        slow = _drain(dataset, rate_rps=0.001).metrics
+        fast = _drain(dataset, rate_rps=0.05).metrics
+        saturated = _drain(dataset, rate_rps=1.0).metrics
+        assert slow.queue_delay_p95_s <= fast.queue_delay_p95_s <= saturated.queue_delay_p95_s
+        assert slow.queue_delay_mean_s <= fast.queue_delay_mean_s
+        assert saturated.queue_delay_mean_s > 0.0
+
+    def test_deterministic(self, dataset):
+        a = _drain(dataset, rate_rps=0.05)
+        b = _drain(dataset, rate_rps=0.05)
+        assert a.records == b.records
+
+    def test_fasttts_fleet_runs(self, dataset):
+        report = _drain(dataset, rate_rps=0.05, fast=True)
+        assert report.metrics.completed == len(dataset)
+        assert report.metrics.busy_fraction > 0.0
+
+
+class TestAdmissionControl:
+    def test_queue_depth_rejection(self, dataset):
+        open_fleet = _drain(dataset, rate_rps=1.0).metrics
+        capped = _drain(dataset, rate_rps=1.0, max_in_flight=1)
+        assert open_fleet.rejected == 0
+        assert capped.metrics.rejected >= 1
+        reasons = [r.reject_reason for r in capped.records if not r.accepted]
+        assert all("queue full" in reason for reason in reasons)
+
+    def test_kv_budget_rejection(self, dataset):
+        # 0.27 of a 4090 admits the 1.5B+1.5B weights (~5.7 GB) but leaves
+        # less KV than one worst-case path needs — admission must reject.
+        config = baseline_config(memory_fraction=0.27, seed=0)
+        fleet = TTSFleet(config, dataset)
+        fleet.submit(list(dataset)[0], build_algorithm("beam_search", 4), 0.0)
+        report = fleet.drain()
+        assert report.metrics.rejected == 1
+        assert "KV budget" in report.records[0].reject_reason
+
+    def test_max_in_flight_validated(self, dataset):
+        with pytest.raises(ValueError):
+            TTSFleet(baseline_config(memory_fraction=0.4), dataset, max_in_flight=0)
+
+
+class TestFleetMetrics:
+    def test_aggregate_requires_records(self):
+        with pytest.raises(ValueError):
+            FleetMetrics.aggregate([])
+
+    def test_all_rejected_degenerates_cleanly(self):
+        records = [
+            FleetRequestRecord(
+                request_id="req-0000", arrival_s=0.0, start_s=0.0, finish_s=0.0,
+                accepted=False, reject_reason="queue full",
+            )
+        ]
+        metrics = FleetMetrics.aggregate(records)
+        assert metrics.completed == 0
+        assert metrics.throughput_rps == 0.0
+        assert metrics.busy_fraction == 0.0
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            FleetRequestRecord(
+                request_id="r", arrival_s=5.0, start_s=4.0, finish_s=6.0
+            )
+
+    def test_request_validation(self, dataset):
+        with pytest.raises(ValueError):
+            FleetRequest(
+                request_id="r", problem=list(dataset)[0],
+                algorithm=build_algorithm("beam_search", 4), arrival_s=-1.0,
+            )

@@ -19,6 +19,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "--device", "tpu-v9"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.n_values == [4, 8, 16]
+        assert not args.no_cache
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.requests == 6
+        assert args.arrivals == "poisson"
+        assert args.max_in_flight is None
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -46,3 +58,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "goodput gain" in out
         assert "baseline" in out and "fasttts" in out
+
+    def test_solve_negative_problem_rejected(self, capsys):
+        code = main(["solve", "--dataset", "amc23", "--problem", "-1"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "non-negative" in captured.err
+        assert captured.out == ""  # no silent end-of-dataset indexing
+
+    def test_sweep_bad_args_rejected(self, capsys):
+        assert main(["sweep", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+        assert main(["sweep", "--problems", "0"]) == 2
+        assert "--problems" in capsys.readouterr().err
+
+    def test_fleet_zero_requests_rejected(self, capsys):
+        assert main(["fleet", "--requests", "0"]) == 2
+        assert "--requests" in capsys.readouterr().err
+
+    def test_sweep_small(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--dataset", "amc23", "--problems", "1",
+            "--n-values", "4", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "gain x" in first
+        assert "0 hits, 2 misses" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 hits, 0 misses" in second
+
+    def test_fleet_small(self, capsys):
+        code = main([
+            "fleet", "--dataset", "amc23", "--requests", "2", "-n", "4",
+            "--rate", "0.05", "--system", "baseline",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput req/s" in out
+        assert "queue delay p95 s" in out

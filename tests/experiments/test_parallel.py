@@ -1,0 +1,221 @@
+"""Tests for the parallel orchestrator and the on-disk result cache."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import (
+    CACHE_SCHEMA_VERSION,
+    ParallelOrchestrator,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+    run_pairs,
+    use_orchestrator,
+)
+from repro.experiments.runner import (
+    ExperimentSpec,
+    active_orchestrator,
+    run_metrics,
+    run_pair,
+    run_pair_sequential,
+    run_problem,
+    run_problem_sequential,
+    sweep_n,
+)
+
+SPEC = ExperimentSpec(
+    dataset_name="amc23", dataset_size=1, model_config="1.5B+1.5B",
+    algorithm="beam_search", n=4, seed=0,
+)
+
+
+class TestCacheKey:
+    def test_stable(self):
+        config = SPEC.build_config(fast=False)
+        assert cache_key(SPEC, config) == cache_key(SPEC, config)
+
+    def test_spec_content_changes_key(self):
+        config = SPEC.build_config(fast=False)
+        other = ExperimentSpec(
+            dataset_name="amc23", dataset_size=1, model_config="1.5B+1.5B",
+            algorithm="beam_search", n=4, seed=1,
+        )
+        assert cache_key(SPEC, config) != cache_key(other, other.build_config(fast=False))
+
+    def test_config_content_changes_key(self):
+        base = SPEC.build_config(fast=False)
+        fast = SPEC.build_config(fast=True)
+        assert cache_key(SPEC, base) != cache_key(SPEC, fast)
+
+    def test_kind_separates_namespaces(self):
+        config = SPEC.build_config(fast=False)
+        assert cache_key(SPEC, config, kind="run") != cache_key(
+            SPEC, config, kind="problem", problem_index=0
+        )
+
+    def test_default_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = SPEC.build_config(fast=False)
+        key = cache_key(SPEC, config)
+        assert cache.load_metrics(key) is None
+        assert cache.misses == 1
+
+        with ParallelOrchestrator(jobs=1, cache=cache) as orch:
+            metrics, results = orch.run_metrics(SPEC, config)
+        assert results  # fresh run carries per-problem results
+        assert cache.load_metrics(key) is not None
+        assert cache.hits == 1
+
+    def test_round_trip_is_exact(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = SPEC.build_config(fast=True)
+        with ParallelOrchestrator(jobs=1, cache=cache) as orch:
+            fresh, _ = orch.run_metrics(SPEC, config)
+            replay, replay_results = orch.run_metrics(SPEC, config)
+        assert replay == fresh  # bit-identical floats through JSON
+        assert replay_results == []  # aggregate-only on a hit
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = SPEC.build_config(fast=False)
+        key = cache_key(SPEC, config)
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text("{not json")
+        assert cache.load_metrics(key) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = SPEC.build_config(fast=False)
+        key = cache_key(SPEC, config)
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text(
+            json.dumps({"schema": CACHE_SCHEMA_VERSION + 1, "kind": "run"})
+        )
+        assert cache.load_metrics(key) is None
+
+    def test_entries_record_provenance(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = SPEC.build_config(fast=False)
+        with ParallelOrchestrator(jobs=1, cache=cache) as orch:
+            orch.run_metrics(SPEC, config)
+        payload = json.loads(cache.path_for(cache_key(SPEC, config)).read_text())
+        assert payload["spec"]["dataset_name"] == "amc23"
+        assert payload["config"]["speculation"] is False
+
+    def test_problem_cache_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = SPEC.build_config(fast=False)
+        with ParallelOrchestrator(jobs=1, cache=cache) as orch:
+            fresh = orch.run_problem(SPEC, config)
+            replay = orch.run_problem(SPEC, config)
+        assert replay == fresh
+        assert cache.hits == 1
+
+    def test_foreign_dataset_bypasses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = SPEC.build_config(fast=False)
+        foreign = ExperimentSpec(
+            dataset_name="aime24", dataset_size=1, n=4
+        ).build_dataset()
+        with ParallelOrchestrator(jobs=1, cache=cache) as orch:
+            orch.run_metrics(SPEC, config, dataset=foreign)
+        assert cache.load_metrics(cache_key(SPEC, config)) is None
+
+    def test_same_shape_different_seed_bypasses_cache(self, tmp_path):
+        # Same dataset name and size but another seed: only the problem ids
+        # betray the difference — the guard must still refuse to cache.
+        cache = ResultCache(tmp_path)
+        config = SPEC.build_config(fast=False)
+        reseeded = ExperimentSpec(
+            dataset_name="amc23", dataset_size=1, n=4, seed=7
+        ).build_dataset()
+        with ParallelOrchestrator(jobs=1, cache=cache) as orch:
+            orch.run_metrics(SPEC, config, dataset=reseeded)
+        assert cache.load_metrics(cache_key(SPEC, config)) is None
+
+    def test_orchestrated_pair_honours_foreign_dataset(self, tmp_path):
+        # A run_pair on a hand-picked dataset must solve *that* dataset even
+        # when orchestrated — matching the sequential path, uncached.
+        reseeded = ExperimentSpec(
+            dataset_name="amc23", dataset_size=1, n=4, seed=7
+        ).build_dataset()
+        direct = run_pair_sequential(SPEC, dataset=reseeded)
+        cache = ResultCache(tmp_path)
+        with ParallelOrchestrator(jobs=1, cache=cache) as orch:
+            with use_orchestrator(orch):
+                routed = run_pair(SPEC, dataset=reseeded)
+        assert routed.baseline == direct.baseline
+        assert routed.fasttts == direct.fasttts
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestParallelEquivalence:
+    def test_process_parallel_matches_sequential(self):
+        sequential = run_pair_sequential(SPEC)
+        with ParallelOrchestrator(jobs=2, cache=None) as orch:
+            parallel = orch.run_pair(SPEC)
+        assert parallel.baseline == sequential.baseline
+        assert parallel.fasttts == sequential.fasttts
+
+    def test_sweep_matches_sequential(self, tmp_path):
+        sequential = sweep_n(SPEC, [4, 8])
+        with ParallelOrchestrator(jobs=2, cache=ResultCache(tmp_path)) as orch:
+            sharded = orch.sweep_n(SPEC, [4, 8])
+            replay = orch.sweep_n(SPEC, [4, 8])
+        for seq, par, rep in zip(sequential, sharded, replay):
+            assert par.baseline == seq.baseline and par.fasttts == seq.fasttts
+            assert rep.baseline == seq.baseline and rep.fasttts == seq.fasttts
+
+    def test_run_pairs_convenience(self):
+        results = run_pairs([SPEC], jobs=1)
+        assert len(results) == 1
+        assert results[0].spec == SPEC
+
+
+class TestOrchestratorRouting:
+    def test_use_orchestrator_installs_and_restores(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert active_orchestrator() is None
+        with ParallelOrchestrator(jobs=1, cache=cache) as orch:
+            with use_orchestrator(orch):
+                assert active_orchestrator() is orch
+                first = run_pair(SPEC)
+                again = run_pair(SPEC)
+        assert active_orchestrator() is None
+        assert again.baseline == first.baseline
+        assert cache.hits >= 2
+
+    def test_run_metrics_routes_through_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = SPEC.build_config(fast=False)
+        with ParallelOrchestrator(jobs=1, cache=cache) as orch:
+            with use_orchestrator(orch):
+                run_metrics(SPEC, config)
+                _, results = run_metrics(SPEC, config)
+        assert results == []
+        assert cache.hits == 1
+
+    def test_run_problem_routes_through_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = SPEC.build_config(fast=False)
+        direct = run_problem_sequential(SPEC, config)
+        with ParallelOrchestrator(jobs=1, cache=cache) as orch:
+            with use_orchestrator(orch):
+                assert run_problem(SPEC, config) == direct
+                assert run_problem(SPEC, config) == direct
+        assert cache.hits == 1
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelOrchestrator(jobs=0)
+
+    def test_problem_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            run_problem_sequential(SPEC, SPEC.build_config(fast=False), problem_index=5)

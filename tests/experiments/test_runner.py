@@ -2,14 +2,18 @@
 
 import pytest
 
+from repro.experiments import runner as runner_mod
 from repro.experiments.reference import pure_search
 from repro.experiments.runner import (
     MEMORY_FRACTIONS,
     ExperimentSpec,
+    PairResult,
     run_metrics,
     run_pair,
     sweep_n,
 )
+from repro.metrics.latency import LatencyBreakdown
+from repro.metrics.report import RunMetrics
 from repro.search.registry import build_algorithm
 from repro.workloads.datasets import build_dataset
 
@@ -66,6 +70,50 @@ class TestRunners:
         spec = ExperimentSpec(dataset_name="amc23", dataset_size=1, n=8)
         pairs = sweep_n(spec, [4, 8])
         assert [p.spec.n for p in pairs] == [4, 8]
+
+    def test_sweep_builds_dataset_once(self, monkeypatch):
+        calls = []
+        real = runner_mod.build_dataset
+
+        def counting(*args, **kwargs):
+            calls.append((args, kwargs))
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "build_dataset", counting)
+        spec = ExperimentSpec(dataset_name="amc23", dataset_size=1, n=4)
+        sweep_n(spec, [4, 8])
+        assert len(calls) == 1  # one dataset per sweep, not per run_pair call
+
+
+def _metrics_with_goodput(goodput: float) -> RunMetrics:
+    return RunMetrics(
+        algorithm="beam_search",
+        n=4,
+        problem_count=1,
+        goodput=goodput,
+        latency=LatencyBreakdown(total=1.0, generation=0.5, verification=0.5),
+        top1_accuracy=0.0,
+    )
+
+
+class TestZeroBaselineGain:
+    def test_both_zero_is_a_wash(self):
+        pair = PairResult(
+            spec=ExperimentSpec(),
+            baseline=_metrics_with_goodput(0.0),
+            fasttts=_metrics_with_goodput(0.0),
+        )
+        assert pair.goodput_gain == 1.0
+        assert pair.summary_row()[6] == 1.0
+
+    def test_baseline_only_zero_renders_inf(self):
+        pair = PairResult(
+            spec=ExperimentSpec(),
+            baseline=_metrics_with_goodput(0.0),
+            fasttts=_metrics_with_goodput(42.0),
+        )
+        assert pair.goodput_gain == float("inf")
+        assert pair.summary_row()[6] == "inf"  # never round(inf) into tables
 
 
 class TestPureSearch:

@@ -4,7 +4,12 @@ import pytest
 
 from repro.engine.telemetry import Phase, TokenCounters, UtilSpan
 from repro.metrics.accuracy import majority_answer, pass_at_n, top1_correct
-from repro.metrics.goodput import BeamRecord, precise_goodput
+from repro.metrics.goodput import (
+    BeamRecord,
+    format_gain,
+    precise_goodput,
+    throughput_gain,
+)
 from repro.metrics.latency import LatencyBreakdown, mean_breakdown
 from repro.metrics.report import ProblemRunResult, RunMetrics
 from repro.metrics.utilization import (
@@ -38,6 +43,42 @@ class TestPreciseGoodput:
             beam((0,), tokens=0)
         with pytest.raises(ValueError):
             beam((0,), time=0.0)
+
+
+class TestThroughputGain:
+    def test_ordinary_ratio(self):
+        assert throughput_gain(150.0, 100.0) == pytest.approx(1.5)
+
+    def test_both_zero_is_a_wash(self):
+        assert throughput_gain(0.0, 0.0) == 1.0
+
+    def test_zero_baseline_is_unbounded(self):
+        assert throughput_gain(10.0, 0.0) == float("inf")
+
+    def test_format_finite(self):
+        assert format_gain(1.2345) == 1.23
+
+    def test_format_infinite_renders_as_string(self):
+        assert format_gain(float("inf")) == "inf"
+        assert format_gain(float("nan")) == "nan"
+
+
+class TestJsonRoundTrip:
+    def test_latency_round_trip(self):
+        breakdown = LatencyBreakdown(
+            total=10.125, generation=6.5, verification=3.25, swap=0.375
+        )
+        assert LatencyBreakdown.from_json_dict(breakdown.to_json_dict()) == breakdown
+
+    def test_run_metrics_round_trip(self):
+        metrics = RunMetrics.aggregate([make_result("a"), make_result("b", False)])
+        replay = RunMetrics.from_json_dict(metrics.to_json_dict())
+        assert replay == metrics
+        assert replay.pass_at == metrics.pass_at  # int keys restored
+
+    def test_problem_result_round_trip(self):
+        result = make_result()
+        assert ProblemRunResult.from_json_dict(result.to_json_dict()) == result
 
 
 class TestAccuracy:
