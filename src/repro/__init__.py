@@ -17,10 +17,16 @@ paper-vs-measured record of every figure.
 
 from repro.core import (
     OffloadMode,
+    RequestScheduler,
     ServerConfig,
+    SessionState,
+    SolveSession,
+    TTSFleet,
     TTSServer,
     baseline_config,
+    build_scheduler,
     fasttts_config,
+    list_schedulers,
 )
 from repro.metrics import BeamRecord, ProblemRunResult, RunMetrics
 from repro.search import (
@@ -38,6 +44,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "TTSServer",
+    "TTSFleet",
+    "SolveSession",
+    "SessionState",
+    "RequestScheduler",
+    "build_scheduler",
+    "list_schedulers",
     "ServerConfig",
     "OffloadMode",
     "baseline_config",

@@ -15,7 +15,12 @@ Commands
 ``fleet``
     Multi-request serving: queue a stream of solve requests with simulated
     arrival times onto one device and report fleet metrics (request
-    throughput, p50/p95 queueing delay, busy fraction).
+    throughput, p50/p95 queueing delay, busy fraction). ``--scheduler``
+    picks the request-scheduling policy (``fifo``, ``sjf``,
+    ``round_robin``, ``first_finish``) or compares them all
+    (``--scheduler all``).
+``schedulers``
+    List the registered request-scheduling policies.
 ``report``
     Deployment feasibility + roofline report for a config on a device.
 ``straggler``
@@ -31,7 +36,9 @@ from repro.analysis.reports import deployment_report
 from repro.analysis.straggler import idle_fraction
 from repro.core.config import baseline_config, fasttts_config
 from repro.core.fleet import TTSFleet, generate_arrivals
+from repro.core.scheduler import list_schedulers, scheduler_descriptions
 from repro.core.server import TTSServer
+from repro.metrics.fleet import compare_policies
 from repro.experiments.parallel import (
     ParallelOrchestrator,
     ResultCache,
@@ -133,6 +140,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.requests < 1:
         print(f"error: --requests must be >= 1, got {args.requests}", file=sys.stderr)
         return 2
+    if args.n < 1:
+        print(f"error: -n must be >= 1, got {args.n}", file=sys.stderr)
+        return 2
+    if args.rate <= 0:
+        print(f"error: --rate must be > 0, got {args.rate}", file=sys.stderr)
+        return 2
+    if args.max_in_flight is not None and args.max_in_flight < 1:
+        print(
+            f"error: --max-in-flight must be >= 1, got {args.max_in_flight}",
+            file=sys.stderr,
+        )
+        return 2
     factory = fasttts_config if args.system == "fasttts" else baseline_config
     config = factory(
         device_name=args.device,
@@ -140,22 +159,42 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         memory_fraction=args.memory_fraction,
         seed=args.seed,
     )
-    dataset = build_dataset(args.dataset, seed=args.seed, size=args.requests)
-    fleet = TTSFleet(config, dataset, max_in_flight=args.max_in_flight)
     arrivals = generate_arrivals(
         args.requests, args.rate, seed=args.seed, distribution=args.arrivals
     )
     algorithm = build_algorithm(args.algorithm, args.n)
-    fleet.submit_stream(list(dataset), algorithm, arrivals)
-    report = fleet.drain()
-    print(report.table(
-        title=(f"fleet: {args.requests} requests @ {args.rate}/s "
-               f"({args.arrivals}) | {args.system} {args.config} "
-               f"on {args.device} | {args.algorithm} n={args.n}"),
-    ))
-    rejected = [r for r in report.records if not r.accepted]
-    for record in rejected:
-        print(f"rejected {record.request_id}: {record.reject_reason}")
+    dataset = build_dataset(args.dataset, seed=args.seed, size=args.requests)
+    policies = list_schedulers() if args.scheduler == "all" else [args.scheduler]
+
+    reports = {}
+    for policy in policies:
+        fleet = TTSFleet(
+            config, dataset, max_in_flight=args.max_in_flight, scheduler=policy
+        )
+        fleet.submit_stream(list(dataset), algorithm, arrivals)
+        reports[policy] = fleet.drain()
+
+    workload = (f"{args.requests} requests @ {args.rate}/s ({args.arrivals}) "
+                f"| {args.system} {args.config} on {args.device} "
+                f"| {args.algorithm} n={args.n}")
+    if len(reports) == 1:
+        policy, report = next(iter(reports.items()))
+        print(report.table(title=f"fleet [{policy}]: {workload}"))
+        for record in report.records:
+            if not record.accepted:
+                print(f"rejected {record.request_id}: {record.reject_reason}")
+    else:
+        print(compare_policies(
+            {policy: report.metrics for policy, report in reports.items()},
+            title=f"fleet scheduler comparison: {workload}",
+        ))
+    return 0
+
+
+def _cmd_schedulers(args: argparse.Namespace) -> int:
+    rows = [[name, desc] for name, desc in scheduler_descriptions().items()]
+    print(render_table(["scheduler", "policy"], rows,
+                       title="registered request schedulers"))
     return 0
 
 
@@ -243,10 +282,16 @@ def build_parser() -> argparse.ArgumentParser:
                        default="poisson")
     fleet.add_argument("--system", choices=("baseline", "fasttts"),
                        default="fasttts")
+    fleet.add_argument("--scheduler",
+                       choices=(*list_schedulers(), "all"), default="fifo",
+                       help="request-scheduling policy, or 'all' to compare "
+                            "every registered policy on the same workload")
     fleet.add_argument("--max-in-flight", type=int, default=None,
                        help="admission-control cap on queued+running requests")
     fleet.add_argument("--memory-fraction", type=float, default=0.4)
     fleet.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("schedulers", help="list request-scheduling policies")
 
     report = sub.add_parser("report", help="deployment feasibility report")
     report.add_argument("--config", default="1.5B+1.5B")
@@ -266,6 +311,7 @@ _HANDLERS = {
     "solve": _cmd_solve,
     "sweep": _cmd_sweep,
     "fleet": _cmd_fleet,
+    "schedulers": _cmd_schedulers,
     "report": _cmd_report,
     "straggler": _cmd_straggler,
 }

@@ -13,6 +13,19 @@ from repro.core.generation_round import (
     GenerationRound,
     GenerationRoundResult,
 )
+from repro.core.scheduler import (
+    FifoScheduler,
+    FirstFinishScheduler,
+    RequestScheduler,
+    RoundRobinScheduler,
+    SessionHandle,
+    SjfScheduler,
+    build_scheduler,
+    list_schedulers,
+    predict_cost,
+    predict_rounds,
+)
+from repro.core.session import SessionState, SolveSession
 from repro.core.prefix_sched import (
     eviction_cost,
     greedy_order,
@@ -32,6 +45,18 @@ __all__ = [
     "fasttts_config",
     "TTSServer",
     "SolveOutcome",
+    "SolveSession",
+    "SessionState",
+    "RequestScheduler",
+    "SessionHandle",
+    "FifoScheduler",
+    "SjfScheduler",
+    "RoundRobinScheduler",
+    "FirstFinishScheduler",
+    "build_scheduler",
+    "list_schedulers",
+    "predict_rounds",
+    "predict_cost",
     "TTSFleet",
     "FleetRequest",
     "FleetReport",

@@ -8,7 +8,7 @@ timing, never search results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from enum import Enum
 
 from repro.errors import ConfigError
@@ -102,7 +102,17 @@ class ServerConfig:
             )
 
     def with_overrides(self, **kwargs) -> "ServerConfig":
-        """Functional update (configs are frozen)."""
+        """Functional update (configs are frozen).
+
+        Unknown keys raise :class:`ConfigError` naming the offender,
+        rather than surfacing dataclass internals as a raw ``TypeError``.
+        """
+        known = {f.name for f in fields(self)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown ServerConfig key(s): {', '.join(unknown)}"
+            )
         return replace(self, **kwargs)
 
 

@@ -2,33 +2,58 @@
 
 The figure experiments measure one solve at a time; a deployed edge system
 sees a *stream* of requests. ``TTSFleet`` adds that serving dimension on
-top of :class:`~repro.core.server.TTSServer` without touching the solve
-loop:
+top of :class:`~repro.core.server.TTSServer`. Since the SolveSession
+redesign the fleet no longer calls ``server.solve()`` run-to-completion:
+every admitted request becomes one or more resumable
+:class:`~repro.core.session.SolveSession` objects, and a pluggable
+:class:`~repro.core.scheduler.RequestScheduler` policy decides, between
+rounds, which session occupies the device next. That makes
+smarter-than-FIFO serving (SJF, round-robin time-slicing, First-Finish
+racing with cancellation) a policy choice instead of an architecture
+change:
 
 * requests carry **arrival times on the fleet's shared**
-  :class:`~repro.engine.clock.SimClock`; service is FIFO in arrival order
-  (batch size 1, the paper's interactive edge scenario);
+  :class:`~repro.engine.clock.SimClock`; each session keeps its own
+  service-time clock, and a :class:`~repro.engine.clock.ClockBinding`
+  anchors it onto the fleet timeline whenever the scheduler hands it the
+  device;
 * an arrival that lands *during* a solve preempts Phase-2 speculation via
-  the server's existing arrival hook (Sec. 4.1.2), so a busy fleet
-  automatically sheds speculative work;
+  the session's arrival hook (Sec. 4.1.2), so a busy fleet automatically
+  sheds speculative work;
 * **admission control**: a request whose beam budget cannot be planned
   inside the KV budget is rejected up front (:class:`CapacityError` from
   the allocator), as is any arrival that would exceed ``max_in_flight``
-  queued-plus-running requests;
+  queued-plus-running requests (replica sessions of one request count
+  once);
 * the run aggregates into :class:`~repro.metrics.fleet.FleetMetrics` —
-  request throughput, p50/p95 queueing delay, busy fraction.
+  request throughput, p50/p95 queueing delay, busy fraction, and
+  cancelled-work time for racing schedulers.
 
 Everything stays simulated and deterministic: a fleet run is a pure
-function of (config, dataset, submitted requests).
+function of (config, dataset, submitted requests, scheduler policy), and
+``scheduler="fifo"`` reproduces the pre-session fleet byte for byte
+(pinned by ``tests/goldens/fleet_fifo_goldens.json``).
+
+Modeling simplification: sessions own private KV caches, and the
+simulation does not yet charge cross-session KV contention — a paused
+session's resident KV neither evicts other sessions' blocks nor pays
+swap/recompute on resume. Run-to-completion policies (fifo, sjf) are
+unaffected; for interleaving policies (round_robin, first_finish) the
+reported latencies are therefore a lower bound on a device where many
+sessions' KV cannot fit simultaneously. Charging that contention is an
+open ROADMAP item (cross-request KV sharing inside ``TTSFleet``).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.config import ServerConfig
+from repro.core.scheduler import RequestScheduler, SessionHandle, build_scheduler
 from repro.core.server import TTSServer
-from repro.engine.clock import SimClock
+from repro.core.session import SessionState
+from repro.engine.clock import ClockBinding, SimClock
 from repro.errors import CapacityError
 from repro.metrics.fleet import FleetMetrics, FleetRequestRecord
 from repro.metrics.report import ProblemRunResult
@@ -88,6 +113,7 @@ class FleetReport:
 
     records: tuple[FleetRequestRecord, ...]
     results: dict[str, ProblemRunResult] = field(default_factory=dict)
+    scheduler: str = "fifo"
 
     @property
     def metrics(self) -> FleetMetrics:
@@ -97,13 +123,30 @@ class FleetReport:
         return self.metrics.table(title=title)
 
 
+@dataclass(slots=True)
+class _RequestState:
+    """Fleet-side lifecycle of one admitted request (and its replicas)."""
+
+    request: FleetRequest
+    seq: int
+    handles: list[SessionHandle]
+    start_s: float | None = None
+    record: FleetRequestRecord | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.record is not None
+
+
 class TTSFleet:
-    """FIFO multiplexing of many solve requests over one simulated device.
+    """Scheduler-driven multiplexing of solve requests over one device.
 
     Submit requests (``submit`` / ``submit_stream``), then ``drain()`` to
     simulate the whole run and collect the :class:`FleetReport`. The fleet
-    owns a shared :class:`SimClock`; per-request solve latencies come from
-    the underlying server and are stitched onto that clock.
+    owns a shared :class:`SimClock`; sessions run on private clocks that a
+    :class:`ClockBinding` stitches onto the shared timeline round by
+    round, so any :class:`RequestScheduler` policy — FIFO, SJF,
+    round-robin, First-Finish racing — can interleave them.
     """
 
     def __init__(
@@ -111,12 +154,16 @@ class TTSFleet:
         config: ServerConfig,
         dataset: Dataset,
         max_in_flight: int | None = None,
+        scheduler: RequestScheduler | str = "fifo",
     ) -> None:
         if max_in_flight is not None and max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1 when set")
         self._server = TTSServer(config, dataset)
         self._clock = SimClock()
         self._max_in_flight = max_in_flight
+        self._scheduler = (
+            build_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+        )
         self._queue: list[FleetRequest] = []
         self._next_id = 0
         # Allocation feasibility is a pure function of n for a fixed
@@ -132,6 +179,10 @@ class TTSFleet:
     @property
     def clock(self) -> SimClock:
         return self._clock
+
+    @property
+    def scheduler(self) -> RequestScheduler:
+        return self._scheduler
 
     @property
     def pending(self) -> int:
@@ -172,10 +223,17 @@ class TTSFleet:
 
     # -- the serving loop ------------------------------------------------
 
-    def _admit(self, request: FleetRequest, finish_times: list[float]) -> str | None:
+    def _admission_reason(
+        self,
+        request: FleetRequest,
+        finish_times: list[float],
+        running_requests: int,
+    ) -> str | None:
         """Admission control at arrival; returns a reject reason or ``None``."""
         if self._max_in_flight is not None:
-            in_flight = sum(1 for f in finish_times if f > request.arrival_s)
+            in_flight = running_requests + sum(
+                1 for f in finish_times if f > request.arrival_s
+            )
             if in_flight >= self._max_in_flight:
                 return f"queue full (max_in_flight={self._max_in_flight})"
         n = request.algorithm.n
@@ -189,12 +247,15 @@ class TTSFleet:
         return self._kv_verdicts[n]
 
     def drain(self) -> FleetReport:
-        """Serve every queued request in arrival order and aggregate.
+        """Serve every queued request through the scheduler and aggregate.
 
-        Arrivals landing during a solve are handed to the server's
-        preemption hook (relative to that solve's start), so speculation
-        halts as soon as the fleet has a waiting customer — the same
-        minimal-residual-work policy as ``TTSServer.serve_stream``.
+        The loop alternates between admitting arrivals the shared clock
+        has reached and asking the scheduler which runnable session gets
+        the device for one round. Arrivals landing during a session's
+        service reach its preemption hook (as offsets on that session's
+        clock, plus an explicit signal for interleaved schedules), so
+        speculation halts as soon as the fleet has a waiting customer —
+        the same minimal-residual-work policy as ``TTSServer.serve_stream``.
         """
         order = sorted(
             range(len(self._queue)), key=lambda i: (self._queue[i].arrival_s, i)
@@ -202,46 +263,144 @@ class TTSFleet:
         requests = [self._queue[i] for i in order]
         self._queue = []
 
-        records: list[FleetRequestRecord] = []
+        pending: deque[tuple[int, FleetRequest]] = deque(enumerate(requests))
+        states: dict[int, _RequestState] = {}
+        records: dict[int, FleetRequestRecord] = {}
         results: dict[str, ProblemRunResult] = {}
         finish_times: list[float] = []
-        for index, request in enumerate(requests):
-            reason = self._admit(request, finish_times)
+        clock = self._clock
+        current: SessionHandle | None = None
+        turn = 0
+
+        def running_requests() -> int:
+            return sum(1 for st in states.values() if not st.finished)
+
+        def live_handles() -> list[SessionHandle]:
+            return [
+                h
+                for st in states.values()
+                if not st.finished
+                for h in st.handles
+                if h.runnable
+            ]
+
+        def admit(seq: int, request: FleetRequest) -> None:
+            reason = self._admission_reason(request, finish_times, running_requests())
             if reason is not None:
-                records.append(
-                    FleetRequestRecord(
-                        request_id=request.request_id,
-                        arrival_s=request.arrival_s,
-                        start_s=request.arrival_s,
-                        finish_s=request.arrival_s,
-                        accepted=False,
-                        reject_reason=reason,
-                    )
-                )
-                continue
-            start = max(self._clock.now, request.arrival_s)
-            # Later arrivals expressed on the request's own clock (t=0 at
-            # service start); non-positive offsets mean someone is already
-            # waiting and speculation never starts.
-            pending_offsets = tuple(
-                later.arrival_s - start for later in requests[index + 1:]
-            )
-            result = self._server.solve(
-                request.problem, request.algorithm, arrivals=pending_offsets
-            )
-            if start > self._clock.now:
-                self._clock.advance(start - self._clock.now)  # idle gap
-            self._clock.advance(result.latency.total)
-            finish = self._clock.now
-            finish_times.append(finish)
-            results[request.request_id] = result
-            records.append(
-                FleetRequestRecord(
+                records[seq] = FleetRequestRecord(
                     request_id=request.request_id,
                     arrival_s=request.arrival_s,
-                    start_s=start,
-                    finish_s=finish,
-                    latency=result.latency,
+                    start_s=request.arrival_s,
+                    finish_s=request.arrival_s,
+                    accepted=False,
+                    reject_reason=reason,
                 )
+            else:
+                sessions = self._scheduler.sessions_for(self._server, request)
+                handles = [
+                    SessionHandle(
+                        request_id=request.request_id,
+                        arrival_s=request.arrival_s,
+                        seq=seq,
+                        replica=replica,
+                        session=session,
+                        binding=ClockBinding(session.clock),
+                    )
+                    for replica, session in enumerate(sessions)
+                ]
+                states[seq] = _RequestState(request=request, seq=seq, handles=handles)
+            # Either way somebody new showed up: running sessions must stop
+            # speculating (round-granular analogue of the arrival offsets).
+            for st in states.values():
+                if st.finished or st.seq == seq:
+                    continue
+                for h in st.handles:
+                    if h.start_s is not None and h.runnable:
+                        h.session.notify_arrival()
+
+        def settle(handle: SessionHandle) -> None:
+            st = states[handle.seq]
+            siblings = st.handles
+            if self._scheduler.race_decided(handle, siblings):
+                winner = handle
+            elif all(not h.session.state.live for h in siblings):
+                # Nobody produced a verified finish: the canonical replica
+                # (identical to what FIFO would have served) stands.
+                winner = next(h for h in siblings if h.replica == 0)
+            else:
+                return  # race continues
+            cancelled_work = 0.0
+            for h in siblings:
+                if h is winner:
+                    continue
+                if h.session.state.live:
+                    h.session.cancel()
+                cancelled_work += h.session.clock.now
+            result = winner.session.outcome.result
+            records[st.seq] = FleetRequestRecord(
+                request_id=st.request.request_id,
+                arrival_s=st.request.arrival_s,
+                start_s=st.start_s,
+                finish_s=clock.now,
+                latency=result.latency,
+                replicas=len(siblings),
+                cancelled_work_s=cancelled_work,
+                # Device seconds across every session of the request; the
+                # start→finish window also contains other requests' rounds
+                # under interleaving schedulers.
+                device_time_s=winner.session.clock.now + cancelled_work,
             )
-        return FleetReport(records=tuple(records), results=results)
+            st.record = records[st.seq]
+            results[st.request.request_id] = result
+            finish_times.append(clock.now)
+
+        while True:
+            while pending and pending[0][1].arrival_s <= clock.now:
+                admit(*pending.popleft())
+            runnable = live_handles()
+            if not runnable:
+                if not pending:
+                    break
+                # Device idle: the next arrival can be admitted early —
+                # its service still begins no sooner than its arrival.
+                admit(*pending.popleft())
+                continue
+
+            handle = self._scheduler.pick(runnable, clock.now)
+            session = handle.session
+            if handle.start_s is None:
+                start = max(clock.now, handle.arrival_s)
+                handle.start_s = start
+                st = states[handle.seq]
+                if st.start_s is None:
+                    st.start_s = start
+                # Later arrivals expressed on the session's own clock (t=0
+                # at service start); non-positive offsets mean someone is
+                # already waiting and speculation never starts.
+                session.set_arrival_offsets(
+                    tuple(
+                        req.arrival_s - start
+                        for req in requests[handle.seq + 1:]
+                    )
+                )
+                if start > clock.now:
+                    clock.advance(start - clock.now)  # idle gap
+                handle.binding.rebind(clock)
+            elif handle is not current:
+                handle.binding.rebind(clock)
+
+            if session.state is SessionState.ADMITTED:
+                session.step()  # zero-cost setup: plan, caches, workers
+            session.step()  # one generation / verification / finalize round
+            handle.binding.sync(clock)
+            handle.last_stepped = turn
+            turn += 1
+            current = handle
+            if session.state is SessionState.DONE:
+                settle(handle)
+
+        return FleetReport(
+            records=tuple(records[seq] for seq in sorted(records)),
+            results=results,
+            scheduler=self._scheduler.name,
+        )

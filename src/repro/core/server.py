@@ -17,62 +17,63 @@ Because every stochastic quantity is keyed by *what* is generated, two
 servers with different switches produce identical reasoning trees, scores,
 selections and answers — only simulated time, memory traffic and
 utilization differ. The test suite asserts this equivalence directly.
+
+Migration note (the SolveSession redesign)
+------------------------------------------
+The solve loop itself lives in :class:`~repro.core.session.SolveSession`,
+a resumable state machine that advances one generation-or-verification
+round per :meth:`~repro.core.session.SolveSession.step`.
+``TTSServer.solve``, ``run``, ``serve_stream`` and ``solve_detailed`` are
+now thin wrappers that create a session and drive it to completion —
+byte-identical to the pre-session monolithic loop (pinned by the goldens
+under ``tests/goldens/``). Callers that want round-granular control —
+fleet schedulers interleaving many requests on one device, cancellation,
+pause/resume — use :meth:`TTSServer.session` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
+from repro.core.config import OffloadMode, ServerConfig
 from repro.core.allocator import (
     AllocationPlan,
     RooflineAllocator,
     WorkloadProfile,
     static_split_plan,
 )
-from repro.core.config import OffloadMode, ServerConfig
-from repro.core.generation_round import ChildStepPlan, GenerationRound
-from repro.core.prefix_sched import lineage_order, random_order
-from repro.core.spec_select import speculative_potential
-from repro.core.verification_round import VerificationRound
-from repro.engine.clock import SimClock
-from repro.engine.jobs import GenJob, VerifyJob
-from repro.engine.telemetry import Phase, PhaseTimer, TokenCounters, UtilizationTracker
-from repro.engine.tracing import SolveTrace
-from repro.engine.worker import GeneratorWorker, VerifierWorker
+from repro.core.session import (
+    SolveOutcome,
+    SolveSession,
+    lookahead_worthy,
+    path_segments,
+    schedule_jobs,
+)
 from repro.errors import CapacityError
 from repro.hardware.device import get_device
 from repro.hardware.memory import MemoryLedger
 from repro.hardware.offload import OffloadLink
 from repro.hardware.roofline import Roofline
-from repro.kvcache.cache import PagedKVCache
-from repro.llm.generator import SimulatedGenerator, StepPlan
+from repro.llm.generator import SimulatedGenerator
 from repro.llm.verifier import SimulatedPRM
-from repro.metrics.goodput import BeamRecord
-from repro.metrics.latency import LatencyBreakdown
 from repro.metrics.report import ProblemRunResult
+from repro.models.spec import ModelSpec
 from repro.models.zoo import model_pair
 from repro.search.base import SearchAlgorithm
-from repro.search.tree import ReasoningPath, prompt_segment_id, step_segment_id
-from repro.utils.rng import KeyedRng, stable_hash64
+from repro.search.tree import ReasoningPath
+from repro.utils.rng import KeyedRng
 from repro.workloads.problem import Dataset, Problem
 
 __all__ = ["TTSServer", "SolveOutcome"]
 
-_TRUNCATION_STD = 0.05  # spread of the R-truncation draw (Alg. 1, line 19)
-
-
-@dataclass(frozen=True, slots=True)
-class SolveOutcome:
-    """Low-level solve artifacts, for tests and deep-dive benches."""
-
-    result: ProblemRunResult
-    collected: tuple[ReasoningPath, ...]
-    plan: AllocationPlan
-    trace: "SolveTrace | None" = None
-
 
 class TTSServer:
-    """One serving-system instance bound to a device, model pair, dataset."""
+    """One serving-system instance bound to a device, model pair, dataset.
+
+    The server owns everything *shared across requests* — models, cost
+    models, the keyed RNG, the memory budget. Per-request execution state
+    lives on :class:`~repro.core.session.SolveSession` objects created by
+    :meth:`session`, so any number of solves can be in flight (interleaved
+    round-by-round) on one server.
+    """
 
     def __init__(self, config: ServerConfig, dataset: Dataset) -> None:
         self._config = config
@@ -104,16 +105,9 @@ class TTSServer:
         self._ledger.reserve("verifier", "weights", verifier_model.weight_bytes)
         self._kv_budget = budget - weights
 
-        # Per-solve state, created in _setup().
-        self._clock = SimClock()
-        self._timer = PhaseTimer()
-        self._util = UtilizationTracker()
-        self._plan: AllocationPlan | None = None
-        self._gen_worker: GeneratorWorker | None = None
-        self._ver_worker: VerifierWorker | None = None
-        self._active_model: str = "generator"
-        self._plan_cache: dict[tuple[tuple[int, ...], int], StepPlan] = {}
-        self._trace: SolveTrace | None = None
+        # The most recent session this server ran to completion, kept for
+        # debugging and the plan-cache introspection tests.
+        self._last_session: SolveSession | None = None
 
     # -- public surface ------------------------------------------------
 
@@ -128,6 +122,34 @@ class TTSServer:
     @property
     def kv_budget_bytes(self) -> int:
         return self._kv_budget
+
+    @property
+    def gen_model(self) -> ModelSpec:
+        return self._gen_model
+
+    @property
+    def ver_model(self) -> ModelSpec:
+        return self._ver_model
+
+    @property
+    def roofline(self) -> Roofline:
+        return self._roofline
+
+    @property
+    def link(self) -> OffloadLink:
+        return self._link
+
+    @property
+    def rng(self) -> KeyedRng:
+        return self._rng
+
+    @property
+    def generator(self) -> SimulatedGenerator:
+        return self._generator
+
+    @property
+    def prm(self) -> SimulatedPRM:
+        return self._prm
 
     def plan_allocation(self, n: int) -> AllocationPlan:
         """The memory plan this server would use for a beam budget ``n``."""
@@ -150,6 +172,30 @@ class TTSServer:
             )
             return allocator.search_offload(profile, self._kv_budget)
         return plan
+
+    # -- session factory --------------------------------------------------
+
+    def session(
+        self,
+        problem: Problem,
+        algorithm: SearchAlgorithm,
+        arrivals: tuple[float, ...] = (),
+        trace: bool = False,
+        rng: KeyedRng | None = None,
+        session_id: str | None = None,
+    ) -> SolveSession:
+        """Create a resumable :class:`SolveSession` for one request.
+
+        The caller drives it with ``step()`` (round-granular) or ``run()``
+        (to completion). Sessions are independent: many can interleave on
+        one server without sharing any mutable state.
+        """
+        return SolveSession(
+            self, problem, algorithm,
+            arrivals=arrivals, trace=trace, rng=rng, session_id=session_id,
+        )
+
+    # -- run-to-completion wrappers ---------------------------------------
 
     def solve(
         self,
@@ -179,6 +225,9 @@ class TTSServer:
         generation halts immediately so the running request finishes with
         minimal residual work (Sec. 4.1.2's preemptible design). Returns
         per-request results in arrival order.
+
+        For arbitrary arrival processes, admission control and non-FIFO
+        scheduling, use :class:`~repro.core.fleet.TTSFleet` instead.
         """
         if inter_arrival_s < 0:
             raise ValueError("inter_arrival_s must be non-negative")
@@ -196,8 +245,6 @@ class TTSServer:
             results.append(result)
         return results
 
-    # -- the serving loop ------------------------------------------------
-
     def solve_detailed(
         self,
         problem: Problem,
@@ -212,528 +259,35 @@ class TTSServer:
         arrival onward, exactly like the two-phase scheduler's Phase-2
         preemption. ``trace=True`` records a round-level JSONL-able event
         log (the artifact's log format) on the returned outcome.
+
+        This is a thin wrapper: it creates a :class:`SolveSession` and
+        steps it to completion.
         """
-        cfg = self._config
-        plan = self.plan_allocation(algorithm.n)
-        gen_cache, ver_cache = self._setup(problem, plan)
-        self._trace = SolveTrace(problem.problem_id) if trace else None
-        counters = TokenCounters()
-        score_cache: dict[tuple[tuple[int, ...], int], float] = {}
-        heads_kept: dict[tuple[int, ...], int] = {}
-        collected: list[ReasoningPath] = []
+        session = self.session(problem, algorithm, arrivals=arrivals, trace=trace)
+        self._last_session = session
+        return session.run()
 
-        slot_budget = min(plan.b_dec, cfg.max_slots)
-        batch_pre = min(plan.b_pre, cfg.max_slots)
-        active = [ReasoningPath(lineage=(i,)) for i in range(algorithm.initial_width())]
-
-        round_idx = 0
-        while active and round_idx < self._dataset.max_steps:
-            plans = {
-                path.lineage: self._plan_step(
-                    problem, path.lineage, round_idx, algorithm.step_cap(round_idx)
-                )
-                for path in active
-            }
-            jobs = [
-                self._gen_job(problem, path, plans[path.lineage], round_idx, heads_kept)
-                for path in active
-            ]
-            jobs = self._schedule(problem, jobs, round_idx, "gen")
-
-            self._swap_to("generator")
-            gen_round = GenerationRound(
-                worker=self._gen_worker,
-                slot_budget=slot_budget,
-                speculation=cfg.speculation,
-                branching_factor=algorithm.branching_factor,
-                child_planner=(
-                    self._child_planner(problem, plans, round_idx, algorithm)
-                    if cfg.speculation
-                    else None
-                ),
-                preempt_check=self._arrival_preemption(arrivals),
-                spec_bandwidth_fraction=cfg.spec_bandwidth_fraction,
-            )
-            gen_result = gen_round.run(jobs)
-            counters.recomputed += gen_result.stats.recomputed_tokens
-            counters.committed += gen_result.stats.decoded_tokens
-            if self._trace is not None:
-                self._trace.record(
-                    self._clock.now, "generation_round", round_idx,
-                    active_beams=len(active),
-                    decoded_tokens=gen_result.stats.decoded_tokens,
-                    speculative_tokens=gen_result.stats.speculative_tokens,
-                    recomputed_tokens=gen_result.stats.recomputed_tokens,
-                    round_time=round(gen_result.stats.round_time, 6),
-                    head_starts=len(gen_result.head_starts),
-                )
-            if not cfg.prefix_caching:
-                # No automatic prefix caching: KV dies with the engine call,
-                # exactly like the search-and-learn-on-vLLM baseline.
-                gen_cache.evict_all(now=self._clock.now)
-
-            for path in active:
-                step = plans[path.lineage]
-                path.record_step(step.n_tokens, step.soundness)
-
-            if algorithm.verifies_steps:
-                self._verify_active(
-                    problem, active, plans, gen_result, round_idx,
-                    batch_pre, score_cache, algorithm,
-                )
-
-            survivors: list[ReasoningPath] = []
-            for path in active:
-                if plans[path.lineage].is_terminal:
-                    self._finalize_path(problem, path, gen_result)
-                    collected.append(path)
-                else:
-                    survivors.append(path)
-            if not survivors:
-                break
-
-            decision = algorithm.select(survivors, round_idx, self._rng.fork("select"))
-            if self._trace is not None:
-                self._trace.record(
-                    self._clock.now, "selection", round_idx,
-                    survivors=len(survivors),
-                    kept=len(decision.expansions),
-                    children=decision.total_children,
-                )
-            active = self._expand(
-                problem, decision, gen_result, round_idx,
-                algorithm, heads_kept, counters, gen_cache,
-            )
-            round_idx += 1
-
-        if not algorithm.verifies_steps and collected:
-            self._final_scoring(problem, collected, batch_pre)
-
-        result = self._build_result(problem, algorithm, collected, counters,
-                                    gen_cache, ver_cache)
-        return SolveOutcome(
-            result=result, collected=tuple(collected), plan=plan, trace=self._trace
-        )
-
-    # -- setup -------------------------------------------------------------
-
-    def _setup(
-        self, problem: Problem, plan: AllocationPlan
-    ) -> tuple[PagedKVCache, PagedKVCache]:
-        """Fresh per-problem clocks, caches and workers.
-
-        Problems never share prefixes, so a real system's cache would churn
-        out the previous problem anyway; resetting keeps runs independent.
-        """
-        cfg = self._config
-        self._clock = SimClock()
-        self._timer = PhaseTimer()
-        self._util = UtilizationTracker()
-        self._plan = plan
-        self._plan_cache = {}
-        self._active_model = "generator"
-        gen_cache = PagedKVCache(
-            plan.kv_dec_bytes, self._gen_model.kv_bytes_per_token, cfg.block_tokens
-        )
-        ver_cache = PagedKVCache(
-            plan.kv_pre_bytes, self._ver_model.kv_bytes_per_token, cfg.block_tokens
-        )
-        root = prompt_segment_id(problem)
-        gen_cache.register_segment(root, None, problem.prompt_tokens)
-        ver_cache.register_segment(root, None, problem.prompt_tokens)
-        self._gen_worker = GeneratorWorker(
-            self._gen_model, self._roofline, gen_cache, self._clock,
-            self._timer, self._util,
-        )
-        self._ver_worker = VerifierWorker(
-            self._ver_model, self._roofline, ver_cache, self._clock,
-            self._timer, self._util,
-        )
-        return gen_cache, ver_cache
-
-    # -- segment naming --------------------------------------------------
+    # -- policy shims ------------------------------------------------------
+    # The scheduling/naming policies themselves live in
+    # :mod:`repro.core.session`; these instance methods bind them to this
+    # server's config and RNG for callers (and tests) that poke at policy
+    # behaviour without building a session.
 
     def _path_segments(
         self, problem: Problem, lineage: tuple[int, ...], steps_done: int
     ) -> tuple[int, ...]:
-        """KV segment ids for a path's prompt + generated steps.
-
-        With prefix caching, ids derive from lineage *prefixes*, so
-        ancestors and siblings share segments (vLLM automatic prefix
-        caching / native fork). Without it, ids derive from the *full*
-        lineage: every sequence owns private copies, is re-prefilled from
-        scratch each engine call, and occupies un-deduplicated memory —
-        the search-and-learn-on-vLLM baseline.
-        """
-        if self._config.prefix_caching:
-            segments = [prompt_segment_id(problem)]
-            segments.extend(
-                step_segment_id(problem, lineage, i) for i in range(steps_done)
-            )
-            return tuple(segments)
-        segments = [stable_hash64("private-prompt", problem.problem_id, lineage)]
-        segments.extend(
-            stable_hash64("private-segment", problem.problem_id, lineage, i)
-            for i in range(steps_done)
-        )
-        return tuple(segments)
-
-    # -- step planning -------------------------------------------------
-
-    def _plan_step(
-        self,
-        problem: Problem,
-        lineage: tuple[int, ...],
-        step_idx: int,
-        cap: int | None,
-    ) -> StepPlan:
-        key = (lineage, step_idx)
-        cached = self._plan_cache.get(key)
-        if cached is None:
-            cached = self._generator.plan_step(problem, lineage, step_idx, cap)
-            self._plan_cache[key] = cached
-        return cached
+        return path_segments(self._config, problem, lineage, steps_done)
 
     def _schedule(self, problem: Problem, jobs: list, round_idx: int, stage: str) -> list:
-        """Order a round's jobs per the scheduling policy.
-
-        Prefix-aware scheduling groups siblings while preserving parent
-        order (Sec. 4.2). The naive policy is a keyed shuffle: under vLLM's
-        FCFS scheduler, beams arrive in completion order of the previous
-        iteration, which scatters tree-adjacent beams (the paper's Fig. 5
-        right heatmap). The shuffle changes execution order only — all
-        draws are keyed, so search results are untouched.
-        """
-        if self._config.prefix_aware:
-            return lineage_order(jobs, lambda j: j.lineage)
-        return random_order(
-            jobs,
-            self._rng.fork("naive-order", problem.problem_id, stage),
-            salt=round_idx,
-        )
-
-    def _new_segment(
-        self, problem: Problem, lineage: tuple[int, ...], step_idx: int
-    ) -> int:
-        if self._config.prefix_caching:
-            return step_segment_id(problem, lineage, step_idx)
-        return stable_hash64("private-segment", problem.problem_id, lineage, step_idx)
-
-    def _gen_job(
-        self,
-        problem: Problem,
-        path: ReasoningPath,
-        step: StepPlan,
-        round_idx: int,
-        heads_kept: dict[tuple[int, ...], int],
-    ) -> GenJob:
-        head = min(heads_kept.pop(path.lineage, 0), step.n_tokens)
-        segments = self._path_segments(problem, path.lineage, path.steps_done)
-        tokens = (problem.prompt_tokens, *path.step_tokens)
-        return GenJob(
-            lineage=path.lineage,
-            path_segments=segments,
-            path_segment_tokens=tokens,
-            new_segment=self._new_segment(problem, path.lineage, round_idx),
-            step_tokens=step.n_tokens,
-            head_start=head,
-            prev_score=path.last_score,
-        )
-
-    def _child_planner(
-        self,
-        problem: Problem,
-        plans: dict[tuple[int, ...], StepPlan],
-        round_idx: int,
-        algorithm: SearchAlgorithm,
-    ):
-        """Closure resolving speculative branches to child step identities."""
-        next_cap = algorithm.step_cap(round_idx + 1)
-
-        def planner(
-            parent_lineage: tuple[int, ...], child_index: int
-        ) -> ChildStepPlan | None:
-            parent_plan = plans.get(parent_lineage)
-            if parent_plan is None or parent_plan.is_terminal:
-                return None
-            if round_idx + 1 >= self._dataset.max_steps:
-                return None
-            child_lineage = parent_lineage + (child_index,)
-            child_step = self._plan_step(problem, child_lineage, round_idx + 1, next_cap)
-            return ChildStepPlan(
-                child_lineage=child_lineage,
-                segment_id=step_segment_id(problem, child_lineage, round_idx + 1),
-                parent_leaf_segment=step_segment_id(problem, parent_lineage, round_idx),
-                n_tokens=child_step.n_tokens,
-            )
-
-        return planner
-
-    # -- verification ----------------------------------------------------
-
-    def _verify_active(
-        self,
-        problem: Problem,
-        active: list[ReasoningPath],
-        plans: dict[tuple[int, ...], StepPlan],
-        gen_result,
-        round_idx: int,
-        batch_pre: int,
-        score_cache: dict[tuple[tuple[int, ...], int], float],
-        algorithm: SearchAlgorithm,
-    ) -> None:
-        cfg = self._config
-        self._swap_to("verifier")
-        vjobs = []
-        for path in active:
-            vjobs.append(
-                self._verify_job(problem, path, plans, gen_result, round_idx, algorithm)
-            )
-        vjobs = self._schedule(problem, vjobs, round_idx, "verify")
-        verification = VerificationRound(
-            self._ver_worker, self._prm, batch_pre, lookahead=cfg.lookahead
-        )
-        cached_scores = sum(
-            1 for job in vjobs if (job.lineage, job.step_idx) in score_cache
-        )
-        ver_result = verification.run(problem, vjobs, score_cache)
-        score_cache.update(ver_result.lookahead_scores)
-        for path in active:
-            path.record_score(ver_result.scores[path.lineage])
-        if self._trace is not None:
-            self._trace.record(
-                self._clock.now, "verification_round", round_idx,
-                jobs=len(vjobs),
-                prefilled_tokens=ver_result.stats.prefilled_tokens,
-                cache_hit_tokens=ver_result.stats.cache_hit_tokens,
-                lookahead_scores=len(ver_result.lookahead_scores),
-                cached_scores=cached_scores,
-            )
-        if not cfg.prefix_caching:
-            self._ver_worker.cache.evict_all(now=self._clock.now)
-
-    def _verify_job(
-        self,
-        problem: Problem,
-        path: ReasoningPath,
-        plans: dict[tuple[int, ...], StepPlan],
-        gen_result,
-        round_idx: int,
-        algorithm: SearchAlgorithm,
-    ) -> VerifyJob:
-        # path already recorded this round's step: last segment is the new one.
-        all_segments = self._path_segments(problem, path.lineage, path.steps_done)
-        all_tokens = (problem.prompt_tokens, *path.step_tokens)
-        job_kwargs = dict(
-            lineage=path.lineage,
-            step_idx=round_idx,
-            path_segments=all_segments[:-1],
-            path_segment_tokens=all_tokens[:-1],
-            new_segment=all_segments[-1],
-            new_tokens=path.step_tokens[-1],
-            mean_soundness=path.mean_soundness,
-        )
-        step = plans[path.lineage]
-        if self._config.lookahead and not step.is_terminal and self._lookahead_worthy(path, algorithm):
-            child_lineage = path.lineage + (0,)
-            head = gen_result.head_starts.get(child_lineage)
-            if head is not None and round_idx + 1 < self._dataset.max_steps:
-                child_step = self._plan_step(
-                    problem, child_lineage, round_idx + 1,
-                    algorithm.step_cap(round_idx + 1),
-                )
-                if head.tokens >= child_step.n_tokens:
-                    soundness = path.soundness + [child_step.soundness]
-                    job_kwargs.update(
-                        lookahead_child=child_lineage,
-                        lookahead_segment=head.segment_id,
-                        lookahead_tokens=child_step.n_tokens,
-                        lookahead_soundness=sum(soundness) / len(soundness),
-                    )
-        return VerifyJob(**job_kwargs)
-
-    def _arrival_preemption(self, arrivals: tuple[float, ...]):
-        """Preemption hook: True once any queued arrival time has passed."""
-        if not arrivals:
-            return None
-        first = min(arrivals)
-
-        def check() -> bool:
-            return self._clock.now >= first
-
-        return check
+        return schedule_jobs(self._config, self._rng, problem, jobs, round_idx, stage)
 
     @staticmethod
     def _lookahead_worthy(path: ReasoningPath, algorithm: SearchAlgorithm) -> bool:
-        """Gate LookAhead Verification by speculative potential.
+        return lookahead_worthy(path, algorithm)
 
-        Pre-verifying a speculated step only pays off if the search keeps
-        the beam; for beams outside the top score bin the extra verifier
-        prefill (expensive for a 7B PRM) is usually wasted. The gate reuses
-        SelectSPEC's zero-overhead proxy: previous-step score in bin C1.
-        """
-        potential = speculative_potential(path.last_score, algorithm.branching_factor)
-        return potential == algorithm.branching_factor
-
-    # -- expansion ---------------------------------------------------------
-
-    def _expand(
-        self,
-        problem: Problem,
-        decision,
-        gen_result,
-        round_idx: int,
-        algorithm: SearchAlgorithm,
-        heads_kept: dict[tuple[int, ...], int],
-        counters: TokenCounters,
-        gen_cache: PagedKVCache,
-    ) -> list[ReasoningPath]:
-        new_active: list[ReasoningPath] = []
-        adopted: set[tuple[int, ...]] = set()
-        for expansion in decision.expansions:
-            for child_index in range(expansion.n_children):
-                child = expansion.path.make_child(child_index)
-                head = gen_result.head_starts.get(child.lineage)
-                if head is not None:
-                    kept = self._truncate_head(problem, child.lineage,
-                                               child_index, head.tokens)
-                    if kept < head.tokens:
-                        gen_cache.truncate_segment(
-                            head.segment_id, kept, now=self._clock.now
-                        )
-                    if kept > 0:
-                        heads_kept[child.lineage] = kept
-                    counters.speculative_used += kept
-                    counters.speculative_wasted += head.tokens - kept
-                    adopted.add(child.lineage)
-                new_active.append(child)
-        for lineage, head in gen_result.head_starts.items():
-            if lineage not in adopted:
-                counters.speculative_wasted += head.tokens
-        return new_active
-
-    def _truncate_head(
-        self,
-        problem: Problem,
-        child_lineage: tuple[int, ...],
-        child_index: int,
-        head_tokens: int,
-    ) -> int:
-        """Alg. 1 line 19: the original keeps all, duplicates keep ~R."""
-        if child_index == 0:
-            return head_tokens
-        fraction = self._rng.normal(
-            "spec-truncation",
-            problem.problem_id,
-            child_lineage,
-            loc=self._config.spec_truncation_ratio,
-            scale=_TRUNCATION_STD,
-        )
-        fraction = min(1.0, max(0.0, fraction))
-        return int(round(fraction * head_tokens))
-
-    # -- termination -------------------------------------------------------
-
-    def _finalize_path(self, problem: Problem, path: ReasoningPath, gen_result) -> None:
-        path.terminal = True
-        outcome = gen_result.outcomes[path.lineage]
-        path.completion_time = outcome.finish_time
-        correct, answer = self._generator.final_answer(
-            problem, path.lineage, path.mean_soundness
-        )
-        path.answer = answer
-        path.answer_correct = correct
-
-    def _final_scoring(
-        self, problem: Problem, collected: list[ReasoningPath], batch_pre: int
-    ) -> None:
-        """Best-of-N outcome scoring: one full-path verification at the end."""
-        self._swap_to("verifier")
-        vjobs = []
-        for path in collected:
-            segments = self._path_segments(problem, path.lineage, path.steps_done)
-            tokens = (problem.prompt_tokens, *path.step_tokens)
-            vjobs.append(
-                VerifyJob(
-                    lineage=path.lineage,
-                    step_idx=path.steps_done - 1,
-                    path_segments=segments[:-1],
-                    path_segment_tokens=tokens[:-1],
-                    new_segment=segments[-1],
-                    new_tokens=path.step_tokens[-1],
-                    mean_soundness=path.mean_soundness,
-                )
-            )
-        vjobs = self._schedule(problem, vjobs, -1, "final")
-        verification = VerificationRound(self._ver_worker, self._prm, batch_pre)
-        ver_result = verification.run(problem, vjobs)
-        for path in collected:
-            path.record_score(ver_result.scores[path.lineage])
-
-    # -- offloading --------------------------------------------------------
-
-    def _swap_to(self, model: str) -> None:
-        """Charge PCIe time when the active model changes under offloading."""
-        if self._plan is None or not self._plan.offload:
-            return
-        if self._active_model == model:
-            return
-        outgoing, incoming = (
-            (self._gen_worker, self._ver_worker)
-            if model == "verifier"
-            else (self._ver_worker, self._gen_worker)
-        )
-        out_bytes = outgoing.cache.resident_tokens * outgoing.model.kv_bytes_per_token
-        in_bytes = incoming.cache.resident_tokens * incoming.model.kv_bytes_per_token
-        dt = self._link.swap_time(out_bytes, in_bytes)
-        self._clock.advance(dt)
-        self._timer.add(Phase.SWAP, dt)
-        if self._trace is not None:
-            self._trace.record(
-                self._clock.now, "swap", -1,
-                to=model, out_bytes=out_bytes, in_bytes=in_bytes,
-                seconds=round(dt, 6),
-            )
-        self._active_model = model
-
-    # -- result assembly -----------------------------------------------
-
-    def _build_result(
-        self,
-        problem: Problem,
-        algorithm: SearchAlgorithm,
-        collected: list[ReasoningPath],
-        counters: TokenCounters,
-        gen_cache: PagedKVCache,
-        ver_cache: PagedKVCache,
-    ) -> ProblemRunResult:
-        beams = tuple(
-            BeamRecord(
-                lineage=path.lineage,
-                tokens=path.total_tokens,
-                completion_time=path.completion_time or self._clock.now,
-                answer=path.answer if path.answer is not None else -1,
-                correct=bool(path.answer_correct),
-                score=path.final_score,
-            )
-            for path in collected
-        )
-        latency = LatencyBreakdown(
-            total=self._clock.now,
-            generation=self._timer.get(Phase.GENERATION),
-            verification=self._timer.get(Phase.VERIFICATION),
-            swap=self._timer.get(Phase.SWAP),
-        )
-        return ProblemRunResult(
-            problem_id=problem.problem_id,
-            algorithm=algorithm.name,
-            n=algorithm.n,
-            beams=beams,
-            latency=latency,
-            tokens=counters,
-            util_spans=tuple(self._util.spans),
-            gen_cache_hit_rate=gen_cache.stats.hit_rate,
-            ver_cache_hit_rate=ver_cache.stats.hit_rate,
-            gen_evicted_segments=gen_cache.stats.evicted_segments,
-            ver_evicted_segments=ver_cache.stats.evicted_segments,
-        )
+    @property
+    def _plan_cache(self):
+        """Step-plan memo of the most recent completed solve (tests only)."""
+        if self._last_session is None:
+            return {}
+        return self._last_session.plan_cache

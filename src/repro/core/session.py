@@ -1,0 +1,795 @@
+"""Resumable solve sessions: the serving loop as an explicit state machine.
+
+``TTSServer.solve_detailed`` used to be a run-to-completion monolith, which
+meant a fleet could only serve requests FIFO with whole-request
+granularity. :class:`SolveSession` decomposes that loop into explicit
+states with a :meth:`SolveSession.step` method that advances exactly one
+generation-or-verification round and then yields control::
+
+    ADMITTED ──step()──▶ GENERATING ──step()──▶ VERIFYING ─┐
+                              ▲                            │ survivors
+                              └────────────────────────────┘
+                                                           │ none / budget
+                                                           ▼
+                                      FINALIZING ──step()──▶ DONE
+
+    cancel() from any live state ──▶ CANCELLED
+
+* ``ADMITTED → GENERATING``: zero-cost setup — allocation plan, KV caches,
+  workers, the initial beam set.
+* ``GENERATING → VERIFYING``: one generation round (continuous beam
+  batching + optional speculative extension).
+* ``VERIFYING → GENERATING | FINALIZING``: one verification round (when
+  the algorithm scores steps), terminal collection, selection, expansion.
+* ``FINALIZING → DONE``: best-of-N outcome scoring (if any) and result
+  assembly; :attr:`SolveSession.outcome` becomes available.
+* ``cancel()`` aborts a session between rounds (the First-Finish-Search
+  scheduler uses this to kill losing replicas).
+
+Every piece of per-request state — active paths, KV caches, phase timers,
+the simulated clock — lives on the session, so multiple sessions can
+interleave round-by-round on one simulated device. A session driven
+straight to completion is byte-identical (results, traces, metrics) to the
+pre-refactor monolith; the goldens under ``tests/goldens/`` pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.core.allocator import AllocationPlan
+from repro.core.generation_round import ChildStepPlan, GenerationRound
+from repro.core.prefix_sched import lineage_order, random_order
+from repro.core.spec_select import speculative_potential
+from repro.core.verification_round import VerificationRound
+from repro.engine.clock import SimClock
+from repro.engine.jobs import GenJob, VerifyJob
+from repro.engine.telemetry import Phase, PhaseTimer, TokenCounters, UtilizationTracker
+from repro.engine.tracing import SolveTrace
+from repro.engine.worker import GeneratorWorker, VerifierWorker
+from repro.errors import SchedulingError
+from repro.kvcache.cache import PagedKVCache
+from repro.llm.generator import SimulatedGenerator, StepPlan
+from repro.llm.verifier import SimulatedPRM
+from repro.metrics.goodput import BeamRecord
+from repro.metrics.latency import LatencyBreakdown
+from repro.metrics.report import ProblemRunResult
+from repro.search.base import SearchAlgorithm
+from repro.search.tree import ReasoningPath, prompt_segment_id, step_segment_id
+from repro.utils.rng import KeyedRng, stable_hash64
+from repro.workloads.problem import Problem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (server builds sessions)
+    from repro.core.config import ServerConfig
+    from repro.core.server import TTSServer
+
+__all__ = ["SessionState", "SolveOutcome", "SolveSession", "path_segments",
+           "schedule_jobs", "lookahead_worthy"]
+
+_TRUNCATION_STD = 0.05  # spread of the R-truncation draw (Alg. 1, line 19)
+
+
+class SessionState(str, Enum):
+    """Lifecycle states of a :class:`SolveSession`."""
+
+    ADMITTED = "admitted"
+    GENERATING = "generating"
+    VERIFYING = "verifying"
+    FINALIZING = "finalizing"
+    DONE = "done"
+    CANCELLED = "cancelled"
+
+    @property
+    def live(self) -> bool:
+        """Whether the session still accepts :meth:`SolveSession.step`."""
+        return self not in (SessionState.DONE, SessionState.CANCELLED)
+
+
+@dataclass(frozen=True, slots=True)
+class SolveOutcome:
+    """Low-level solve artifacts, for tests and deep-dive benches."""
+
+    result: ProblemRunResult
+    collected: tuple[ReasoningPath, ...]
+    plan: AllocationPlan
+    trace: "SolveTrace | None" = None
+
+
+# -- stateless policy helpers (shared by server compat shims and sessions) --
+
+
+def path_segments(
+    config: "ServerConfig",
+    problem: Problem,
+    lineage: tuple[int, ...],
+    steps_done: int,
+) -> tuple[int, ...]:
+    """KV segment ids for a path's prompt + generated steps.
+
+    With prefix caching, ids derive from lineage *prefixes*, so ancestors
+    and siblings share segments (vLLM automatic prefix caching / native
+    fork). Without it, ids derive from the *full* lineage: every sequence
+    owns private copies, is re-prefilled from scratch each engine call, and
+    occupies un-deduplicated memory — the search-and-learn-on-vLLM baseline.
+    """
+    if config.prefix_caching:
+        segments = [prompt_segment_id(problem)]
+        segments.extend(
+            step_segment_id(problem, lineage, i) for i in range(steps_done)
+        )
+        return tuple(segments)
+    segments = [stable_hash64("private-prompt", problem.problem_id, lineage)]
+    segments.extend(
+        stable_hash64("private-segment", problem.problem_id, lineage, i)
+        for i in range(steps_done)
+    )
+    return tuple(segments)
+
+
+def schedule_jobs(
+    config: "ServerConfig",
+    rng: KeyedRng,
+    problem: Problem,
+    jobs: list,
+    round_idx: int,
+    stage: str,
+) -> list:
+    """Order a round's jobs per the scheduling policy.
+
+    Prefix-aware scheduling groups siblings while preserving parent order
+    (Sec. 4.2). The naive policy is a keyed shuffle: under vLLM's FCFS
+    scheduler, beams arrive in completion order of the previous iteration,
+    which scatters tree-adjacent beams (the paper's Fig. 5 right heatmap).
+    The shuffle changes execution order only — all draws are keyed, so
+    search results are untouched.
+    """
+    if config.prefix_aware:
+        return lineage_order(jobs, lambda j: j.lineage)
+    return random_order(
+        jobs,
+        rng.fork("naive-order", problem.problem_id, stage),
+        salt=round_idx,
+    )
+
+
+def lookahead_worthy(path: ReasoningPath, algorithm: SearchAlgorithm) -> bool:
+    """Gate LookAhead Verification by speculative potential.
+
+    Pre-verifying a speculated step only pays off if the search keeps the
+    beam; for beams outside the top score bin the extra verifier prefill
+    (expensive for a 7B PRM) is usually wasted. The gate reuses SelectSPEC's
+    zero-overhead proxy: previous-step score in bin C1.
+    """
+    potential = speculative_potential(path.last_score, algorithm.branching_factor)
+    return potential == algorithm.branching_factor
+
+
+class SolveSession:
+    """One request's solve, advanced round-by-round.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.core.server.TTSServer` providing models, cost
+        models and the keyed RNG. Sessions never mutate server state, so
+        any number of them can interleave on one server.
+    problem / algorithm:
+        What to solve and with which search budget.
+    arrivals:
+        Times on *this session's clock* at which another request shows up;
+        speculative execution is preempted from the first arrival onward
+        (Sec. 4.1.2 Phase-2 preemption). A scheduler can also signal an
+        arrival later via :meth:`notify_arrival`.
+    trace:
+        Record a round-level JSONL-able event log on the outcome.
+    rng:
+        Override the keyed RNG (and with it the simulated generator and
+        PRM). The First-Finish-Search scheduler uses forked RNGs to race
+        divergent replicas of one request; everyone else leaves this None
+        for byte-identity with the server's own solve.
+    session_id:
+        Optional label used by fleet schedulers and error messages.
+    """
+
+    def __init__(
+        self,
+        server: "TTSServer",
+        problem: Problem,
+        algorithm: SearchAlgorithm,
+        arrivals: tuple[float, ...] = (),
+        trace: bool = False,
+        rng: KeyedRng | None = None,
+        session_id: str | None = None,
+    ) -> None:
+        self._server = server
+        self._problem = problem
+        self._algorithm = algorithm
+        self._session_id = session_id or f"session-{problem.problem_id}"
+        self._want_trace = trace
+        self._state = SessionState.ADMITTED
+
+        if rng is None:
+            self._rng = server.rng
+            self._generator = server.generator
+            self._prm = server.prm
+        else:
+            self._rng = rng
+            self._generator = SimulatedGenerator(server.gen_model, server.dataset, rng)
+            self._prm = SimulatedPRM(server.ver_model, self._generator.oracle, rng)
+
+        # Engine state (one simulated device's worth, private to the session).
+        self._clock = SimClock()
+        self._timer = PhaseTimer()
+        self._util = UtilizationTracker()
+        self._trace: SolveTrace | None = None
+        self._plan: AllocationPlan | None = None
+        self._gen_worker: GeneratorWorker | None = None
+        self._ver_worker: VerifierWorker | None = None
+        self._gen_cache: PagedKVCache | None = None
+        self._ver_cache: PagedKVCache | None = None
+        self._active_model = "generator"
+
+        # Search state.
+        self._plan_cache: dict[tuple[tuple[int, ...], int], StepPlan] = {}
+        self._active: list[ReasoningPath] = []
+        self._collected: list[ReasoningPath] = []
+        self._counters = TokenCounters()
+        self._score_cache: dict[tuple[tuple[int, ...], int], float] = {}
+        self._heads_kept: dict[tuple[int, ...], int] = {}
+        self._round_idx = 0
+        self._slot_budget = 0
+        self._batch_pre = 0
+
+        # Per-round carry between the GENERATING and VERIFYING states.
+        self._plans: dict[tuple[int, ...], StepPlan] = {}
+        self._gen_result = None
+
+        # Preemption inputs.
+        self._preempt_at: float | None = min(arrivals) if arrivals else None
+        self._preempt_signalled = False
+
+        self._outcome: SolveOutcome | None = None
+
+    # -- public surface --------------------------------------------------
+
+    @property
+    def server(self) -> "TTSServer":
+        return self._server
+
+    @property
+    def session_id(self) -> str:
+        return self._session_id
+
+    @property
+    def state(self) -> SessionState:
+        return self._state
+
+    @property
+    def problem(self) -> Problem:
+        return self._problem
+
+    @property
+    def algorithm(self) -> SearchAlgorithm:
+        return self._algorithm
+
+    @property
+    def clock(self) -> SimClock:
+        """The session-private clock; ``clock.now`` is service time so far."""
+        return self._clock
+
+    @property
+    def rounds_completed(self) -> int:
+        return self._round_idx
+
+    @property
+    def outcome(self) -> SolveOutcome:
+        """The finished solve's artifacts (only after reaching ``DONE``)."""
+        if self._outcome is None:
+            raise SchedulingError(
+                f"{self._session_id} has no outcome in state {self._state.value}"
+            )
+        return self._outcome
+
+    @property
+    def plan_cache(self) -> dict[tuple[tuple[int, ...], int], StepPlan]:
+        """Per-session step-plan memo (exposed for tests and debugging)."""
+        return self._plan_cache
+
+    def notify_arrival(self) -> None:
+        """Signal that another request is waiting *now*.
+
+        From the next generation round on, speculative execution is
+        preempted — the scheduler-driven equivalent of the ``arrivals``
+        constructor argument for arrivals not known at session start.
+        """
+        self._preempt_signalled = True
+
+    def set_arrival_offsets(self, offsets: tuple[float, ...]) -> None:
+        """Install arrival times (on this session's clock) after creation.
+
+        Fleet schedulers only learn a session's service start time when
+        they first pick it; this lets them translate absolute arrival times
+        into session-clock offsets at that moment.
+        """
+        if offsets:
+            first = min(offsets)
+            if self._preempt_at is None or first < self._preempt_at:
+                self._preempt_at = first
+
+    def cancel(self) -> None:
+        """Abort the session; no outcome will be produced."""
+        if self._state is SessionState.DONE:
+            raise SchedulingError(f"cannot cancel finished {self._session_id}")
+        self._state = SessionState.CANCELLED
+
+    def step(self) -> SessionState:
+        """Advance exactly one lifecycle transition and return the new state.
+
+        One call performs one unit of simulated device work: setup
+        (zero-cost), one generation round, one verification-and-selection
+        round, or finalization (result assembly, plus the single
+        best-of-N outcome-scoring pass for algorithms that skip per-step
+        verification).
+        """
+        if not self._state.live:
+            raise SchedulingError(
+                f"cannot step {self._session_id}: state is {self._state.value}"
+            )
+        if self._state is SessionState.ADMITTED:
+            self._step_admit()
+        elif self._state is SessionState.GENERATING:
+            self._step_generate()
+        elif self._state is SessionState.VERIFYING:
+            self._step_verify()
+        elif self._state is SessionState.FINALIZING:
+            self._step_finalize()
+        return self._state
+
+    def run(self) -> SolveOutcome:
+        """Drive the session to completion and return the outcome."""
+        while self._state.live:
+            self.step()
+        if self._state is SessionState.CANCELLED:
+            raise SchedulingError(f"{self._session_id} was cancelled")
+        return self.outcome
+
+    # -- state handlers --------------------------------------------------
+
+    def _step_admit(self) -> None:
+        """ADMITTED → GENERATING: allocation plan, caches, workers, beams."""
+        server = self._server
+        cfg = server.config
+        plan = server.plan_allocation(self._algorithm.n)
+        self._plan = plan
+        self._trace = SolveTrace(self._problem.problem_id) if self._want_trace else None
+
+        gen_cache = PagedKVCache(
+            plan.kv_dec_bytes, server.gen_model.kv_bytes_per_token, cfg.block_tokens
+        )
+        ver_cache = PagedKVCache(
+            plan.kv_pre_bytes, server.ver_model.kv_bytes_per_token, cfg.block_tokens
+        )
+        root = prompt_segment_id(self._problem)
+        gen_cache.register_segment(root, None, self._problem.prompt_tokens)
+        ver_cache.register_segment(root, None, self._problem.prompt_tokens)
+        self._gen_cache = gen_cache
+        self._ver_cache = ver_cache
+        self._gen_worker = GeneratorWorker(
+            server.gen_model, server.roofline, gen_cache, self._clock,
+            self._timer, self._util,
+        )
+        self._ver_worker = VerifierWorker(
+            server.ver_model, server.roofline, ver_cache, self._clock,
+            self._timer, self._util,
+        )
+
+        self._slot_budget = min(plan.b_dec, cfg.max_slots)
+        self._batch_pre = min(plan.b_pre, cfg.max_slots)
+        self._active = [
+            ReasoningPath(lineage=(i,))
+            for i in range(self._algorithm.initial_width())
+        ]
+        self._round_idx = 0
+        if self._active and self._round_idx < server.dataset.max_steps:
+            self._state = SessionState.GENERATING
+        else:  # pragma: no cover - empty searches cannot be constructed
+            self._state = SessionState.FINALIZING
+
+    def _step_generate(self) -> None:
+        """GENERATING → VERIFYING: one generation round for the active set."""
+        server = self._server
+        cfg = server.config
+        problem, algorithm = self._problem, self._algorithm
+        round_idx = self._round_idx
+
+        plans = {
+            path.lineage: self._plan_step(
+                path.lineage, round_idx, algorithm.step_cap(round_idx)
+            )
+            for path in self._active
+        }
+        jobs = [
+            self._gen_job(path, plans[path.lineage], round_idx)
+            for path in self._active
+        ]
+        jobs = self._schedule(jobs, round_idx, "gen")
+
+        self._swap_to("generator")
+        gen_round = GenerationRound(
+            worker=self._gen_worker,
+            slot_budget=self._slot_budget,
+            speculation=cfg.speculation,
+            branching_factor=algorithm.branching_factor,
+            child_planner=(
+                self._child_planner(plans, round_idx) if cfg.speculation else None
+            ),
+            preempt_check=self._preempt_check(),
+            spec_bandwidth_fraction=cfg.spec_bandwidth_fraction,
+        )
+        gen_result = gen_round.run(jobs)
+        self._counters.recomputed += gen_result.stats.recomputed_tokens
+        self._counters.committed += gen_result.stats.decoded_tokens
+        if self._trace is not None:
+            self._trace.record(
+                self._clock.now, "generation_round", round_idx,
+                active_beams=len(self._active),
+                decoded_tokens=gen_result.stats.decoded_tokens,
+                speculative_tokens=gen_result.stats.speculative_tokens,
+                recomputed_tokens=gen_result.stats.recomputed_tokens,
+                round_time=round(gen_result.stats.round_time, 6),
+                head_starts=len(gen_result.head_starts),
+            )
+        if not cfg.prefix_caching:
+            # No automatic prefix caching: KV dies with the engine call,
+            # exactly like the search-and-learn-on-vLLM baseline.
+            self._gen_cache.evict_all(now=self._clock.now)
+
+        for path in self._active:
+            step = plans[path.lineage]
+            path.record_step(step.n_tokens, step.soundness)
+
+        self._plans = plans
+        self._gen_result = gen_result
+        self._state = SessionState.VERIFYING
+
+    def _step_verify(self) -> None:
+        """VERIFYING → GENERATING | FINALIZING: verify, collect, select."""
+        algorithm = self._algorithm
+        round_idx = self._round_idx
+
+        if algorithm.verifies_steps:
+            self._verify_active(round_idx)
+
+        survivors: list[ReasoningPath] = []
+        for path in self._active:
+            if self._plans[path.lineage].is_terminal:
+                self._finalize_path(path)
+                self._collected.append(path)
+            else:
+                survivors.append(path)
+        if not survivors:
+            self._active = []
+            self._state = SessionState.FINALIZING
+            return
+
+        decision = algorithm.select(survivors, round_idx, self._rng.fork("select"))
+        if self._trace is not None:
+            self._trace.record(
+                self._clock.now, "selection", round_idx,
+                survivors=len(survivors),
+                kept=len(decision.expansions),
+                children=decision.total_children,
+            )
+        self._active = self._expand(decision, round_idx)
+        self._round_idx = round_idx + 1
+        if self._active and self._round_idx < self._server.dataset.max_steps:
+            self._state = SessionState.GENERATING
+        else:
+            self._state = SessionState.FINALIZING
+
+    def _step_finalize(self) -> None:
+        """FINALIZING → DONE: outcome scoring (BoN) and result assembly."""
+        if not self._algorithm.verifies_steps and self._collected:
+            self._final_scoring()
+        result = self._build_result()
+        self._outcome = SolveOutcome(
+            result=result,
+            collected=tuple(self._collected),
+            plan=self._plan,
+            trace=self._trace,
+        )
+        self._state = SessionState.DONE
+
+    # -- step planning ---------------------------------------------------
+
+    def _plan_step(
+        self, lineage: tuple[int, ...], step_idx: int, cap: int | None
+    ) -> StepPlan:
+        key = (lineage, step_idx)
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            cached = self._generator.plan_step(self._problem, lineage, step_idx, cap)
+            self._plan_cache[key] = cached
+        return cached
+
+    def _schedule(self, jobs: list, round_idx: int, stage: str) -> list:
+        return schedule_jobs(
+            self._server.config, self._rng, self._problem, jobs, round_idx, stage
+        )
+
+    def _new_segment(self, lineage: tuple[int, ...], step_idx: int) -> int:
+        if self._server.config.prefix_caching:
+            return step_segment_id(self._problem, lineage, step_idx)
+        return stable_hash64(
+            "private-segment", self._problem.problem_id, lineage, step_idx
+        )
+
+    def _gen_job(
+        self, path: ReasoningPath, step: StepPlan, round_idx: int
+    ) -> GenJob:
+        head = min(self._heads_kept.pop(path.lineage, 0), step.n_tokens)
+        segments = path_segments(
+            self._server.config, self._problem, path.lineage, path.steps_done
+        )
+        tokens = (self._problem.prompt_tokens, *path.step_tokens)
+        return GenJob(
+            lineage=path.lineage,
+            path_segments=segments,
+            path_segment_tokens=tokens,
+            new_segment=self._new_segment(path.lineage, round_idx),
+            step_tokens=step.n_tokens,
+            head_start=head,
+            prev_score=path.last_score,
+        )
+
+    def _child_planner(
+        self, plans: dict[tuple[int, ...], StepPlan], round_idx: int
+    ):
+        """Closure resolving speculative branches to child step identities."""
+        problem, algorithm = self._problem, self._algorithm
+        next_cap = algorithm.step_cap(round_idx + 1)
+
+        def planner(
+            parent_lineage: tuple[int, ...], child_index: int
+        ) -> ChildStepPlan | None:
+            parent_plan = plans.get(parent_lineage)
+            if parent_plan is None or parent_plan.is_terminal:
+                return None
+            if round_idx + 1 >= self._server.dataset.max_steps:
+                return None
+            child_lineage = parent_lineage + (child_index,)
+            child_step = self._plan_step(child_lineage, round_idx + 1, next_cap)
+            return ChildStepPlan(
+                child_lineage=child_lineage,
+                segment_id=step_segment_id(problem, child_lineage, round_idx + 1),
+                parent_leaf_segment=step_segment_id(problem, parent_lineage, round_idx),
+                n_tokens=child_step.n_tokens,
+            )
+
+        return planner
+
+    def _preempt_check(self):
+        """Preemption hook: True once an arrival has landed (or was signalled)."""
+        if self._preempt_signalled:
+            return lambda: True
+        if self._preempt_at is None:
+            return None
+        first = self._preempt_at
+
+        def check() -> bool:
+            return self._preempt_signalled or self._clock.now >= first
+
+        return check
+
+    # -- verification ----------------------------------------------------
+
+    def _verify_active(self, round_idx: int) -> None:
+        cfg = self._server.config
+        self._swap_to("verifier")
+        vjobs = []
+        for path in self._active:
+            vjobs.append(self._verify_job(path, round_idx))
+        vjobs = self._schedule(vjobs, round_idx, "verify")
+        verification = VerificationRound(
+            self._ver_worker, self._prm, self._batch_pre, lookahead=cfg.lookahead
+        )
+        cached_scores = sum(
+            1 for job in vjobs if (job.lineage, job.step_idx) in self._score_cache
+        )
+        ver_result = verification.run(self._problem, vjobs, self._score_cache)
+        self._score_cache.update(ver_result.lookahead_scores)
+        for path in self._active:
+            path.record_score(ver_result.scores[path.lineage])
+        if self._trace is not None:
+            self._trace.record(
+                self._clock.now, "verification_round", round_idx,
+                jobs=len(vjobs),
+                prefilled_tokens=ver_result.stats.prefilled_tokens,
+                cache_hit_tokens=ver_result.stats.cache_hit_tokens,
+                lookahead_scores=len(ver_result.lookahead_scores),
+                cached_scores=cached_scores,
+            )
+        if not cfg.prefix_caching:
+            self._ver_worker.cache.evict_all(now=self._clock.now)
+
+    def _verify_job(self, path: ReasoningPath, round_idx: int) -> VerifyJob:
+        # path already recorded this round's step: last segment is the new one.
+        cfg = self._server.config
+        problem, algorithm = self._problem, self._algorithm
+        all_segments = path_segments(cfg, problem, path.lineage, path.steps_done)
+        all_tokens = (problem.prompt_tokens, *path.step_tokens)
+        job_kwargs = dict(
+            lineage=path.lineage,
+            step_idx=round_idx,
+            path_segments=all_segments[:-1],
+            path_segment_tokens=all_tokens[:-1],
+            new_segment=all_segments[-1],
+            new_tokens=path.step_tokens[-1],
+            mean_soundness=path.mean_soundness,
+        )
+        step = self._plans[path.lineage]
+        if cfg.lookahead and not step.is_terminal and lookahead_worthy(path, algorithm):
+            child_lineage = path.lineage + (0,)
+            head = self._gen_result.head_starts.get(child_lineage)
+            if head is not None and round_idx + 1 < self._server.dataset.max_steps:
+                child_step = self._plan_step(
+                    child_lineage, round_idx + 1, algorithm.step_cap(round_idx + 1)
+                )
+                if head.tokens >= child_step.n_tokens:
+                    soundness = path.soundness + [child_step.soundness]
+                    job_kwargs.update(
+                        lookahead_child=child_lineage,
+                        lookahead_segment=head.segment_id,
+                        lookahead_tokens=child_step.n_tokens,
+                        lookahead_soundness=sum(soundness) / len(soundness),
+                    )
+        return VerifyJob(**job_kwargs)
+
+    # -- expansion ---------------------------------------------------------
+
+    def _expand(self, decision, round_idx: int) -> list[ReasoningPath]:
+        new_active: list[ReasoningPath] = []
+        adopted: set[tuple[int, ...]] = set()
+        gen_result = self._gen_result
+        for expansion in decision.expansions:
+            for child_index in range(expansion.n_children):
+                child = expansion.path.make_child(child_index)
+                head = gen_result.head_starts.get(child.lineage)
+                if head is not None:
+                    kept = self._truncate_head(child.lineage, child_index, head.tokens)
+                    if kept < head.tokens:
+                        self._gen_cache.truncate_segment(
+                            head.segment_id, kept, now=self._clock.now
+                        )
+                    if kept > 0:
+                        self._heads_kept[child.lineage] = kept
+                    self._counters.speculative_used += kept
+                    self._counters.speculative_wasted += head.tokens - kept
+                    adopted.add(child.lineage)
+                new_active.append(child)
+        for lineage, head in gen_result.head_starts.items():
+            if lineage not in adopted:
+                self._counters.speculative_wasted += head.tokens
+        return new_active
+
+    def _truncate_head(
+        self, child_lineage: tuple[int, ...], child_index: int, head_tokens: int
+    ) -> int:
+        """Alg. 1 line 19: the original keeps all, duplicates keep ~R."""
+        if child_index == 0:
+            return head_tokens
+        fraction = self._rng.normal(
+            "spec-truncation",
+            self._problem.problem_id,
+            child_lineage,
+            loc=self._server.config.spec_truncation_ratio,
+            scale=_TRUNCATION_STD,
+        )
+        fraction = min(1.0, max(0.0, fraction))
+        return int(round(fraction * head_tokens))
+
+    # -- termination -------------------------------------------------------
+
+    def _finalize_path(self, path: ReasoningPath) -> None:
+        path.terminal = True
+        outcome = self._gen_result.outcomes[path.lineage]
+        path.completion_time = outcome.finish_time
+        correct, answer = self._generator.final_answer(
+            self._problem, path.lineage, path.mean_soundness
+        )
+        path.answer = answer
+        path.answer_correct = correct
+
+    def _final_scoring(self) -> None:
+        """Best-of-N outcome scoring: one full-path verification at the end."""
+        cfg = self._server.config
+        problem = self._problem
+        self._swap_to("verifier")
+        vjobs = []
+        for path in self._collected:
+            segments = path_segments(cfg, problem, path.lineage, path.steps_done)
+            tokens = (problem.prompt_tokens, *path.step_tokens)
+            vjobs.append(
+                VerifyJob(
+                    lineage=path.lineage,
+                    step_idx=path.steps_done - 1,
+                    path_segments=segments[:-1],
+                    path_segment_tokens=tokens[:-1],
+                    new_segment=segments[-1],
+                    new_tokens=path.step_tokens[-1],
+                    mean_soundness=path.mean_soundness,
+                )
+            )
+        vjobs = self._schedule(vjobs, -1, "final")
+        verification = VerificationRound(self._ver_worker, self._prm, self._batch_pre)
+        ver_result = verification.run(problem, vjobs)
+        for path in self._collected:
+            path.record_score(ver_result.scores[path.lineage])
+
+    # -- offloading --------------------------------------------------------
+
+    def _swap_to(self, model: str) -> None:
+        """Charge PCIe time when the active model changes under offloading."""
+        if self._plan is None or not self._plan.offload:
+            return
+        if self._active_model == model:
+            return
+        outgoing, incoming = (
+            (self._gen_worker, self._ver_worker)
+            if model == "verifier"
+            else (self._ver_worker, self._gen_worker)
+        )
+        out_bytes = outgoing.cache.resident_tokens * outgoing.model.kv_bytes_per_token
+        in_bytes = incoming.cache.resident_tokens * incoming.model.kv_bytes_per_token
+        dt = self._server.link.swap_time(out_bytes, in_bytes)
+        self._clock.advance(dt)
+        self._timer.add(Phase.SWAP, dt)
+        if self._trace is not None:
+            self._trace.record(
+                self._clock.now, "swap", -1,
+                to=model, out_bytes=out_bytes, in_bytes=in_bytes,
+                seconds=round(dt, 6),
+            )
+        self._active_model = model
+
+    # -- result assembly -----------------------------------------------
+
+    def _build_result(self) -> ProblemRunResult:
+        beams = tuple(
+            BeamRecord(
+                lineage=path.lineage,
+                tokens=path.total_tokens,
+                completion_time=path.completion_time or self._clock.now,
+                answer=path.answer if path.answer is not None else -1,
+                correct=bool(path.answer_correct),
+                score=path.final_score,
+            )
+            for path in self._collected
+        )
+        latency = LatencyBreakdown(
+            total=self._clock.now,
+            generation=self._timer.get(Phase.GENERATION),
+            verification=self._timer.get(Phase.VERIFICATION),
+            swap=self._timer.get(Phase.SWAP),
+        )
+        return ProblemRunResult(
+            problem_id=self._problem.problem_id,
+            algorithm=self._algorithm.name,
+            n=self._algorithm.n,
+            beams=beams,
+            latency=latency,
+            tokens=self._counters,
+            util_spans=tuple(self._util.spans),
+            gen_cache_hit_rate=self._gen_cache.stats.hit_rate,
+            ver_cache_hit_rate=self._ver_cache.stats.hit_rate,
+            gen_evicted_segments=self._gen_cache.stats.evicted_segments,
+            ver_evicted_segments=self._ver_cache.stats.evicted_segments,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SolveSession({self._session_id}, state={self._state.value}, "
+            f"round={self._round_idx}, t={self._clock.now:.3f})"
+        )

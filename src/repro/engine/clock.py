@@ -3,11 +3,24 @@
 All latency in the reproduction is virtual: workers advance this clock by
 roofline-estimated durations. The clock is strictly monotonic; rewinding is
 a bug and raises immediately.
+
+Sessions and fleets use *different* clocks: each
+:class:`~repro.core.session.SolveSession` owns a private clock measuring
+its own service time, while a :class:`~repro.core.fleet.TTSFleet` owns the
+shared wall clock requests queue against. :class:`ClockBinding` performs
+the handoff between the two — it anchors a session clock at the fleet time
+where the scheduler (re)started the session, so stepping the session maps
+its service-time progress back onto the fleet timeline exactly (anchor +
+session time, one addition, no drift from re-accumulating round deltas).
 """
 
 from __future__ import annotations
 
-__all__ = ["SimClock"]
+__all__ = ["SimClock", "ClockBinding"]
+
+# Absolute slack (seconds) tolerated when two independently-derived float
+# timelines are reconciled; anything beyond this is a real rewind bug.
+_REWIND_TOLERANCE = 1e-9
 
 
 class SimClock:
@@ -29,6 +42,23 @@ class SimClock:
         self._now += dt
         return self._now
 
+    def advance_to(self, target: float) -> float:
+        """Move time forward to an absolute ``target`` and return it.
+
+        Unlike :meth:`advance`, this *sets* the time rather than adding a
+        delta, so a caller reconstructing the timeline as ``anchor +
+        elapsed`` lands on exactly that float. Targets a hair in the past
+        (within float-reconciliation tolerance) are clamped to ``now``;
+        anything earlier raises.
+        """
+        if target < self._now - _REWIND_TOLERANCE:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {target}"
+            )
+        if target > self._now:
+            self._now = float(target)
+        return self._now
+
     def reset(self, to: float = 0.0) -> None:
         """Restart the clock (between independent problems)."""
         if to < 0:
@@ -37,3 +67,33 @@ class SimClock:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimClock(now={self._now:.6f})"
+
+
+class ClockBinding:
+    """Maps one session-local clock onto a shared fleet clock.
+
+    A scheduler that interleaves sessions re-binds whenever it switches
+    which session occupies the device: ``rebind`` records the fleet time
+    at which the session resumed (minus service it already accumulated),
+    and ``sync`` pushes the fleet clock to ``anchor + local.now`` after a
+    step. Computing the absolute target (instead of accumulating per-round
+    deltas) keeps a run-to-completion schedule bit-identical to driving
+    the session without a fleet at all.
+    """
+
+    def __init__(self, local: SimClock) -> None:
+        self._local = local
+        self._anchor = 0.0
+
+    @property
+    def anchor(self) -> float:
+        """Fleet time corresponding to the session clock's zero."""
+        return self._anchor
+
+    def rebind(self, shared: SimClock) -> None:
+        """Anchor the session's elapsed service at the current fleet time."""
+        self._anchor = shared.now - self._local.now
+
+    def sync(self, shared: SimClock) -> float:
+        """Advance the fleet clock to this session's current position."""
+        return shared.advance_to(self._anchor + self._local.now)

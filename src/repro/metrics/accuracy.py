@@ -13,7 +13,7 @@ from typing import Sequence
 
 from repro.metrics.goodput import BeamRecord
 
-__all__ = ["majority_answer", "top1_correct", "pass_at_n"]
+__all__ = ["majority_answer", "answer_confidence", "top1_correct", "pass_at_n"]
 
 
 def majority_answer(beams: Sequence[BeamRecord]) -> int:
@@ -26,6 +26,25 @@ def majority_answer(beams: Sequence[BeamRecord]) -> int:
         votes[beam.answer] += 1
         score_mass[beam.answer] += beam.score
     return max(votes, key=lambda a: (votes[a], score_mass[a], -a))
+
+
+def answer_confidence(beams: Sequence[BeamRecord]) -> float:
+    """Verifier-score mass behind the majority answer, in [0, 1].
+
+    Unlike :func:`top1_correct` this is *observable at serving time*: it
+    reads only the PRM scores and the vote distribution, never the ground
+    truth. A high value means the search's strongest-scored beams agree on
+    one answer — the signal a deployed system has for "this finish looks
+    verified" (the First-Finish scheduler's cancellation gate).
+    """
+    if not beams:
+        return 0.0
+    total = sum(max(b.score, 0.0) for b in beams)
+    if total <= 0.0:
+        return 0.0
+    winner = majority_answer(beams)
+    mass = sum(max(b.score, 0.0) for b in beams if b.answer == winner)
+    return mass / total
 
 
 def top1_correct(beams: Sequence[BeamRecord]) -> bool:

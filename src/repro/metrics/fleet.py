@@ -4,20 +4,25 @@ Single-request metrics (goodput, latency) describe how fast one solve is;
 a serving system is judged by how it behaves under *load*. This module
 aggregates a fleet run — many queued solve requests multiplexed over one
 device — into the quantities a serving evaluation reports: completed
-request throughput, the p50/p95 queueing delay distribution, and the
-device's busy fraction over the run's makespan.
+request throughput, the p50/p95 queueing delay distribution, the device's
+busy fraction over the run's makespan, and (for redundancy-based
+schedulers such as ``first_finish``) how much device time went into
+sessions whose results were cancelled or discarded.
+
+:func:`compare_policies` renders several fleet runs of the same workload
+under different :mod:`~repro.core.scheduler` policies side by side.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.metrics.latency import LatencyBreakdown
 from repro.utils.stats import percentile
 from repro.utils.tables import render_table
 
-__all__ = ["FleetRequestRecord", "FleetMetrics"]
+__all__ = ["FleetRequestRecord", "FleetMetrics", "compare_policies"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,6 +43,9 @@ class FleetRequestRecord:
     accepted: bool = True
     reject_reason: str | None = None
     latency: LatencyBreakdown | None = None
+    replicas: int = 1
+    cancelled_work_s: float = 0.0
+    device_time_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -46,6 +54,12 @@ class FleetRequestRecord:
             raise ValueError("service cannot start before arrival")
         if self.accepted and self.finish_s < self.start_s:
             raise ValueError("service cannot finish before it starts")
+        if self.replicas < 1:
+            raise ValueError("a request is served by at least one session")
+        if self.cancelled_work_s < 0:
+            raise ValueError("cancelled_work_s must be non-negative")
+        if self.device_time_s is not None and self.device_time_s < 0:
+            raise ValueError("device_time_s must be non-negative")
 
     @property
     def queue_delay_s(self) -> float:
@@ -54,8 +68,26 @@ class FleetRequestRecord:
 
     @property
     def service_s(self) -> float:
-        """Seconds of device time the request consumed."""
+        """Wall-clock seconds between service start and finish.
+
+        Under run-to-completion scheduling this equals device time; under
+        an interleaving scheduler the window also contains other requests'
+        rounds — use :attr:`device_seconds` for device-time accounting.
+        """
         return self.finish_s - self.start_s
+
+    @property
+    def device_seconds(self) -> float:
+        """Simulated device seconds this request actually consumed.
+
+        Recorded by the fleet as the sum of all its sessions' private
+        clocks (winner plus cancelled/discarded replicas). Falls back to
+        the start→finish window for records predating the session
+        redesign, where the two were the same thing.
+        """
+        if self.device_time_s is not None:
+            return self.device_time_s
+        return self.service_s
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,7 +103,10 @@ class FleetMetrics:
     queue_delay_p50_s: float
     queue_delay_p95_s: float
     service_mean_s: float
+    latency_mean_s: float
     busy_fraction: float
+    sessions: int = 0
+    cancelled_work_s: float = 0.0
 
     @classmethod
     def aggregate(cls, records: Sequence[FleetRequestRecord]) -> "FleetMetrics":
@@ -82,7 +117,12 @@ class FleetMetrics:
         rejected = len(records) - len(accepted)
         makespan = max((r.finish_s for r in accepted), default=0.0)
         delays = [r.queue_delay_s for r in accepted]
-        services = [r.service_s for r in accepted]
+        # Device time, not the start→finish window: interleaved requests'
+        # windows overlap, and summing them would report busy fractions
+        # beyond 1.0 on a single device.
+        services = [r.device_seconds for r in accepted]
+        # Sojourn time: arrival → finish, what an interactive user feels.
+        sojourns = [r.finish_s - r.arrival_s for r in accepted]
         busy = sum(services)
         return cls(
             requests=len(records),
@@ -94,7 +134,10 @@ class FleetMetrics:
             queue_delay_p50_s=percentile(delays, 50.0) if delays else 0.0,
             queue_delay_p95_s=percentile(delays, 95.0) if delays else 0.0,
             service_mean_s=(sum(services) / len(services)) if services else 0.0,
+            latency_mean_s=(sum(sojourns) / len(sojourns)) if sojourns else 0.0,
             busy_fraction=(busy / makespan) if makespan > 0 else 0.0,
+            sessions=sum(r.replicas for r in accepted),
+            cancelled_work_s=sum(r.cancelled_work_s for r in accepted),
         )
 
     def summary_rows(self) -> list[list[object]]:
@@ -108,8 +151,44 @@ class FleetMetrics:
             ["queue delay p50 s", round(self.queue_delay_p50_s, 2)],
             ["queue delay p95 s", round(self.queue_delay_p95_s, 2)],
             ["service mean s", round(self.service_mean_s, 2)],
+            ["latency mean s", round(self.latency_mean_s, 2)],
             ["busy fraction", round(self.busy_fraction, 3)],
+            ["sessions", self.sessions],
+            ["cancelled work s", round(self.cancelled_work_s, 2)],
         ]
 
     def table(self, title: str | None = None) -> str:
         return render_table(["metric", "value"], self.summary_rows(), title=title)
+
+
+def compare_policies(
+    metrics_by_policy: Mapping[str, FleetMetrics], title: str | None = None
+) -> str:
+    """Side-by-side table of one workload served under several schedulers.
+
+    ``metrics_by_policy`` maps a scheduler policy name to the
+    :class:`FleetMetrics` of the run it produced (same submitted requests,
+    same seed). Rows keep the mapping's insertion order, so callers
+    control which policy is the baseline on top.
+    """
+    if not metrics_by_policy:
+        raise ValueError("need at least one policy to compare")
+    rows = [
+        [
+            policy,
+            m.completed,
+            m.rejected,
+            round(m.queue_delay_mean_s, 2),
+            round(m.queue_delay_p95_s, 2),
+            round(m.latency_mean_s, 2),
+            round(m.makespan_s, 2),
+            round(m.cancelled_work_s, 2),
+        ]
+        for policy, m in metrics_by_policy.items()
+    ]
+    return render_table(
+        ["scheduler", "done", "rej", "queue mean s", "queue p95 s",
+         "latency mean s", "makespan s", "cancelled s"],
+        rows,
+        title=title,
+    )

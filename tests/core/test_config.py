@@ -49,6 +49,17 @@ class TestServerConfig:
         assert cfg.seed == 9
         assert cfg.speculation
 
+    def test_with_overrides_unknown_key(self):
+        with pytest.raises(ConfigError) as excinfo:
+            fasttts_config().with_overrides(speculatoin=False)
+        assert "speculatoin" in str(excinfo.value)
+
+    def test_with_overrides_reports_every_unknown_key(self):
+        with pytest.raises(ConfigError) as excinfo:
+            fasttts_config().with_overrides(bogus=1, also_bogus=2)
+        assert "also_bogus" in str(excinfo.value)
+        assert "bogus" in str(excinfo.value)
+
     def test_overrides_in_factory(self):
         cfg = fasttts_config(speculation=False, lookahead=False)
         assert not cfg.speculation

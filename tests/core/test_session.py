@@ -1,0 +1,218 @@
+"""Tests for the resumable SolveSession state machine.
+
+The headline guarantee: a session stepped to completion is byte-identical
+— same ``ProblemRunResult`` JSON, same ``SolveTrace`` JSONL — to the
+pre-refactor monolithic solve loop, whose outputs are pinned in
+``tests/goldens/solve_goldens.json`` (regenerate with
+``tests/goldens/capture.py``).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import baseline_config, fasttts_config
+from repro.core.server import TTSServer
+from repro.core.session import SessionState, SolveSession
+from repro.errors import SchedulingError
+from repro.search.registry import build_algorithm, list_algorithms
+from repro.workloads.datasets import build_dataset
+
+GOLDENS = json.loads(
+    (Path(__file__).parent.parent / "goldens" / "solve_goldens.json").read_text()
+)
+N = 8
+SEED = 3  # must match tests/goldens/capture.py
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("amc23", seed=SEED, size=2)
+
+
+@pytest.fixture(scope="module")
+def problem(dataset):
+    return list(dataset)[0]
+
+
+def make_server(dataset, system: str) -> TTSServer:
+    factory = fasttts_config if system == "fasttts" else baseline_config
+    return TTSServer(factory(memory_fraction=0.4, seed=SEED), dataset)
+
+
+class TestGoldenEquivalence:
+    """Session-stepped execution == the legacy run-to-completion monolith."""
+
+    @pytest.mark.parametrize("system", ["baseline", "fasttts"])
+    @pytest.mark.parametrize("algorithm_name", list_algorithms())
+    def test_byte_identical_to_legacy_solve(
+        self, dataset, problem, system, algorithm_name
+    ):
+        golden = GOLDENS[f"{system}/{algorithm_name}"]
+        server = make_server(dataset, system)
+        outcome = server.solve_detailed(
+            problem, build_algorithm(algorithm_name, N), trace=True
+        )
+        assert outcome.result.to_json_dict() == golden["result"]
+        assert outcome.trace.to_jsonl() == golden["trace"]
+
+    @pytest.mark.parametrize(
+        "label, arrivals",
+        [
+            ("fasttts/beam_search/preempt-mid", (5.0,)),
+            ("fasttts/beam_search/preempt-immediate", (-1.0, 4.0)),
+        ],
+    )
+    def test_arrival_preemption_byte_identical(
+        self, dataset, problem, label, arrivals
+    ):
+        golden = GOLDENS[label]
+        server = make_server(dataset, "fasttts")
+        outcome = server.solve_detailed(
+            problem, build_algorithm("beam_search", N),
+            arrivals=arrivals, trace=True,
+        )
+        assert outcome.result.to_json_dict() == golden["result"]
+        assert outcome.trace.to_jsonl() == golden["trace"]
+
+    def test_manual_stepping_matches_run(self, dataset, problem):
+        """Driving step() by hand produces the same outcome as run()."""
+        server = make_server(dataset, "fasttts")
+        algo = build_algorithm("beam_search", N)
+        stepped = server.session(problem, algo, trace=True)
+        while stepped.state.live:
+            stepped.step()
+        golden = GOLDENS["fasttts/beam_search"]
+        assert stepped.outcome.result.to_json_dict() == golden["result"]
+        assert stepped.outcome.trace.to_jsonl() == golden["trace"]
+
+
+class TestStateMachine:
+    def test_lifecycle_transitions(self, dataset, problem):
+        server = make_server(dataset, "baseline")
+        session = server.session(problem, build_algorithm("beam_search", N))
+        assert session.state is SessionState.ADMITTED
+        assert session.step() is SessionState.GENERATING
+        assert session.clock.now == 0.0  # setup is free
+        assert session.step() is SessionState.VERIFYING
+        assert session.clock.now > 0.0  # a generation round costs time
+        seen = {SessionState.ADMITTED, SessionState.GENERATING,
+                SessionState.VERIFYING}
+        while session.state.live:
+            seen.add(session.step())
+        assert session.state is SessionState.DONE
+        assert SessionState.FINALIZING in seen
+
+    def test_alternates_generation_and_verification(self, dataset, problem):
+        server = make_server(dataset, "baseline")
+        session = server.session(problem, build_algorithm("beam_search", N))
+        session.step()
+        states = []
+        while session.state.live:
+            states.append(session.state)
+            session.step()
+        rounds = states[:-1] if states[-1] is SessionState.FINALIZING else states
+        for i, state in enumerate(rounds):
+            expected = (SessionState.GENERATING if i % 2 == 0
+                        else SessionState.VERIFYING)
+            assert state is expected
+
+    def test_outcome_unavailable_before_done(self, dataset, problem):
+        server = make_server(dataset, "baseline")
+        session = server.session(problem, build_algorithm("beam_search", N))
+        with pytest.raises(SchedulingError):
+            _ = session.outcome
+
+    def test_step_after_done_raises(self, dataset, problem):
+        server = make_server(dataset, "baseline")
+        session = server.session(problem, build_algorithm("beam_search", N))
+        session.run()
+        with pytest.raises(SchedulingError):
+            session.step()
+
+    def test_cancel(self, dataset, problem):
+        server = make_server(dataset, "baseline")
+        session = server.session(problem, build_algorithm("beam_search", N))
+        session.step()
+        session.step()
+        session.cancel()
+        assert session.state is SessionState.CANCELLED
+        with pytest.raises(SchedulingError):
+            session.step()
+        with pytest.raises(SchedulingError):
+            _ = session.outcome
+
+    def test_cancel_after_done_raises(self, dataset, problem):
+        server = make_server(dataset, "baseline")
+        session = server.session(problem, build_algorithm("beam_search", N))
+        session.run()
+        with pytest.raises(SchedulingError):
+            session.cancel()
+
+    def test_run_on_cancelled_session_raises(self, dataset, problem):
+        server = make_server(dataset, "baseline")
+        session = server.session(problem, build_algorithm("beam_search", N))
+        session.cancel()
+        with pytest.raises(SchedulingError):
+            session.run()
+
+
+class TestInterleaving:
+    def test_interleaved_sessions_match_isolated_runs(self, dataset):
+        """Round-robin interleaving on one server changes nothing per solve."""
+        problems = list(dataset)
+        algo = build_algorithm("beam_search", N)
+
+        isolated = {}
+        for p in problems:
+            server = make_server(dataset, "fasttts")
+            isolated[p.problem_id] = server.solve_detailed(p, algo, trace=True)
+
+        server = make_server(dataset, "fasttts")
+        sessions = [server.session(p, algo, trace=True) for p in problems]
+        while any(s.state.live for s in sessions):
+            for session in sessions:
+                if session.state.live:
+                    session.step()
+        for p, session in zip(problems, sessions):
+            assert (session.outcome.result.to_json_dict()
+                    == isolated[p.problem_id].result.to_json_dict())
+            assert (session.outcome.trace.to_jsonl()
+                    == isolated[p.problem_id].trace.to_jsonl())
+
+    def test_sessions_have_private_clocks(self, dataset):
+        problems = list(dataset)
+        server = make_server(dataset, "baseline")
+        algo = build_algorithm("beam_search", N)
+        a = server.session(problems[0], algo)
+        b = server.session(problems[1], algo)
+        a.step(); a.step()  # setup + one generation round
+        assert a.clock.now > 0.0
+        assert b.clock.now == 0.0
+
+    def test_forked_rng_session_diverges(self, dataset, problem):
+        """An rng-forked replica explores a different sampled search."""
+        server = make_server(dataset, "fasttts")
+        algo = build_algorithm("beam_search", N)
+        canonical = server.session(problem, algo).run()
+        variant = server.session(
+            problem, algo, rng=server.rng.fork("replica", 1)
+        ).run()
+        assert (canonical.result.to_json_dict()
+                != variant.result.to_json_dict())
+
+
+class TestServerWrappers:
+    def test_solve_matches_session_run(self, dataset, problem):
+        server = make_server(dataset, "fasttts")
+        algo = build_algorithm("beam_search", N)
+        via_wrapper = server.solve(problem, algo)
+        via_session = server.session(problem, algo).run().result
+        assert via_wrapper.to_json_dict() == via_session.to_json_dict()
+
+    def test_plan_cache_exposed_after_solve(self, dataset, problem):
+        server = make_server(dataset, "fasttts")
+        assert server._plan_cache == {}
+        server.solve(problem, build_algorithm("beam_search", N))
+        assert server._plan_cache

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.clock import SimClock
+from repro.engine.clock import ClockBinding, SimClock
 from repro.engine.telemetry import (
     Phase,
     PhaseTimer,
@@ -32,6 +32,45 @@ class TestSimClock:
     def test_negative_start_rejected(self):
         with pytest.raises(ValueError):
             SimClock(start=-1.0)
+
+    def test_advance_to_sets_absolute_time(self):
+        clock = SimClock()
+        clock.advance_to(3.25)
+        assert clock.now == 3.25
+        clock.advance_to(3.25)  # idempotent at the same instant
+        assert clock.now == 3.25
+
+    def test_advance_to_rejects_rewind(self):
+        clock = SimClock(start=5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+    def test_advance_to_clamps_float_jitter(self):
+        clock = SimClock(start=1.0)
+        assert clock.advance_to(1.0 - 1e-12) == 1.0
+
+
+class TestClockBinding:
+    def test_sync_maps_session_time_onto_fleet_time(self):
+        fleet, session = SimClock(), SimClock()
+        binding = ClockBinding(session)
+        fleet.advance(10.0)
+        binding.rebind(fleet)
+        assert binding.anchor == 10.0
+        session.advance(2.5)
+        assert binding.sync(fleet) == 12.5
+
+    def test_rebind_after_interleaving(self):
+        fleet, session = SimClock(), SimClock()
+        binding = ClockBinding(session)
+        binding.rebind(fleet)
+        session.advance(2.0)
+        binding.sync(fleet)
+        fleet.advance(5.0)  # another session ran for 5s
+        binding.rebind(fleet)
+        assert binding.anchor == 5.0  # fleet 7.0 minus 2.0 already served
+        session.advance(1.0)
+        assert binding.sync(fleet) == 8.0
 
 
 class TestUtilSpan:

@@ -76,6 +76,16 @@ class TestCommands:
         assert main(["fleet", "--requests", "0"]) == 2
         assert "--requests" in capsys.readouterr().err
 
+    def test_fleet_bad_args_rejected(self, capsys):
+        assert main(["fleet", "--rate", "0"]) == 2
+        assert "--rate" in capsys.readouterr().err
+        assert main(["fleet", "--rate", "-0.5"]) == 2
+        assert "--rate" in capsys.readouterr().err
+        assert main(["fleet", "--max-in-flight", "0"]) == 2
+        assert "--max-in-flight" in capsys.readouterr().err
+        assert main(["fleet", "-n", "0"]) == 2
+        assert "-n" in capsys.readouterr().err
+
     def test_sweep_small(self, capsys, tmp_path):
         argv = [
             "sweep", "--dataset", "amc23", "--problems", "1",
@@ -99,3 +109,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "throughput req/s" in out
         assert "queue delay p95 s" in out
+
+    def test_fleet_scheduler_policy(self, capsys):
+        code = main([
+            "fleet", "--dataset", "amc23", "--requests", "2", "-n", "4",
+            "--rate", "0.05", "--system", "baseline",
+            "--scheduler", "round_robin",
+        ])
+        assert code == 0
+        assert "[round_robin]" in capsys.readouterr().out
+
+    def test_fleet_scheduler_comparison(self, capsys):
+        code = main([
+            "fleet", "--dataset", "amc23", "--requests", "2", "-n", "4",
+            "--rate", "0.2", "--system", "baseline", "--scheduler", "all",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for policy in ("fifo", "sjf", "round_robin", "first_finish"):
+            assert policy in out
+        assert "cancelled s" in out
+
+    def test_fleet_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--scheduler", "priority"])
+
+    def test_schedulers_listing(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        for policy in ("fifo", "sjf", "round_robin", "first_finish"):
+            assert policy in out

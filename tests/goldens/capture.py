@@ -1,0 +1,107 @@
+"""Regenerate the serving goldens in this directory.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/goldens/capture.py
+
+The goldens pin the exact observable behaviour of the serving loop —
+per-problem results, round-level traces, and FIFO fleet records — so that
+refactors of the solve loop (e.g. the SolveSession state machine) can
+assert byte-identity against the original monolithic implementation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.config import baseline_config, fasttts_config
+from repro.core.fleet import TTSFleet, generate_arrivals
+from repro.core.server import TTSServer
+from repro.search.registry import build_algorithm, list_algorithms
+from repro.workloads.datasets import build_dataset
+
+HERE = Path(__file__).parent
+
+SOLVE_N = 8
+SOLVE_SEED = 3
+FLEET_SEED = 0
+
+
+def capture_solves() -> dict:
+    dataset = build_dataset("amc23", seed=SOLVE_SEED, size=2)
+    problem = list(dataset)[0]
+    cells = {}
+    for system, factory in (("baseline", baseline_config), ("fasttts", fasttts_config)):
+        for algorithm_name in list_algorithms():
+            server = TTSServer(factory(memory_fraction=0.4, seed=SOLVE_SEED), dataset)
+            outcome = server.solve_detailed(
+                problem, build_algorithm(algorithm_name, SOLVE_N), trace=True
+            )
+            cells[f"{system}/{algorithm_name}"] = {
+                "result": outcome.result.to_json_dict(),
+                "trace": outcome.trace.to_jsonl(),
+            }
+    # Arrival preemption: a request lands mid-solve and halts speculation.
+    for label, arrivals in (
+        ("fasttts/beam_search/preempt-mid", (5.0,)),
+        ("fasttts/beam_search/preempt-immediate", (-1.0, 4.0)),
+    ):
+        server = TTSServer(fasttts_config(memory_fraction=0.4, seed=SOLVE_SEED), dataset)
+        outcome = server.solve_detailed(
+            problem, build_algorithm("beam_search", SOLVE_N),
+            arrivals=arrivals, trace=True,
+        )
+        cells[label] = {
+            "result": outcome.result.to_json_dict(),
+            "trace": outcome.trace.to_jsonl(),
+        }
+    return cells
+
+
+def _record_dict(record) -> dict:
+    return {
+        "request_id": record.request_id,
+        "arrival_s": record.arrival_s,
+        "start_s": record.start_s,
+        "finish_s": record.finish_s,
+        "accepted": record.accepted,
+        "reject_reason": record.reject_reason,
+        "latency": record.latency.to_json_dict() if record.latency else None,
+    }
+
+
+def capture_fleet() -> dict:
+    runs = {}
+    for label, rate, max_in_flight in (
+        ("open-slow", 0.005, None),
+        ("open-busy", 0.05, None),
+        ("capped-saturated", 1.0, 2),
+    ):
+        dataset = build_dataset("amc23", seed=FLEET_SEED, size=5)
+        config = baseline_config(memory_fraction=0.4, seed=FLEET_SEED)
+        fleet = TTSFleet(config, dataset, max_in_flight=max_in_flight)
+        arrivals = generate_arrivals(len(dataset), rate, seed=FLEET_SEED)
+        fleet.submit_stream(list(dataset), build_algorithm("beam_search", 4), arrivals)
+        report = fleet.drain()
+        runs[label] = {
+            "records": [_record_dict(r) for r in report.records],
+            "results": {
+                rid: res.to_json_dict() for rid, res in sorted(report.results.items())
+            },
+        }
+    return runs
+
+
+def main() -> None:
+    (HERE / "solve_goldens.json").write_text(
+        json.dumps(capture_solves(), indent=1, sort_keys=True) + "\n"
+    )
+    (HERE / "fleet_fifo_goldens.json").write_text(
+        json.dumps(capture_fleet(), indent=1, sort_keys=True) + "\n"
+    )
+    print("goldens written to", HERE)
+
+
+if __name__ == "__main__":
+    main()
