@@ -16,7 +16,10 @@ paper-vs-measured record of every figure.
 """
 
 from repro.core import (
+    DevicePool,
     OffloadMode,
+    PlacementPolicy,
+    PooledDevice,
     RequestScheduler,
     ServerConfig,
     SessionState,
@@ -24,8 +27,10 @@ from repro.core import (
     TTSFleet,
     TTSServer,
     baseline_config,
+    build_placement,
     build_scheduler,
     fasttts_config,
+    list_placements,
     list_schedulers,
 )
 from repro.metrics import BeamRecord, ProblemRunResult, RunMetrics
@@ -50,6 +55,11 @@ __all__ = [
     "RequestScheduler",
     "build_scheduler",
     "list_schedulers",
+    "DevicePool",
+    "PooledDevice",
+    "PlacementPolicy",
+    "build_placement",
+    "list_placements",
     "ServerConfig",
     "OffloadMode",
     "baseline_config",

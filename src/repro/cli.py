@@ -14,13 +14,17 @@ Commands
     ``$REPRO_CACHE_DIR`` override, ``--no-cache`` disables).
 ``fleet``
     Multi-request serving: queue a stream of solve requests with simulated
-    arrival times onto one device and report fleet metrics (request
-    throughput, p50/p95 queueing delay, busy fraction). ``--scheduler``
-    picks the request-scheduling policy (``fifo``, ``sjf``,
-    ``round_robin``, ``first_finish``) or compares them all
-    (``--scheduler all``).
+    arrival times onto a device pool and report fleet metrics (request
+    throughput, p50/p95 queueing delay and sojourn, busy fraction, KV swap
+    time). ``--scheduler`` picks the request-scheduling policy (``fifo``,
+    ``sjf``, ``round_robin``, ``first_finish``) or compares them all
+    (``--scheduler all``); ``--devices rtx4090,rtx4070ti`` spans a
+    heterogeneous pool and ``--placement`` picks how requests spread
+    across it (``first_fit``, ``least_loaded``, ``kv_balanced``).
 ``schedulers``
-    List the registered request-scheduling policies.
+    List the registered request-scheduling and placement policies.
+``devices``
+    List the registered device specs (VRAM, peak FLOPs, bandwidths).
 ``report``
     Deployment feasibility + roofline report for a config on a device.
 ``straggler``
@@ -36,16 +40,18 @@ from repro.analysis.reports import deployment_report
 from repro.analysis.straggler import idle_fraction
 from repro.core.config import baseline_config, fasttts_config
 from repro.core.fleet import TTSFleet, generate_arrivals
+from repro.core.pool import list_placements, placement_descriptions
 from repro.core.scheduler import list_schedulers, scheduler_descriptions
 from repro.core.server import TTSServer
 from repro.metrics.fleet import compare_policies
+from repro.utils.suggest import did_you_mean
 from repro.experiments.parallel import (
     ParallelOrchestrator,
     ResultCache,
     use_orchestrator,
 )
 from repro.experiments.runner import ExperimentSpec, sweep_n
-from repro.hardware.device import list_devices
+from repro.hardware.device import get_device, list_devices
 from repro.metrics.goodput import format_gain, throughput_gain
 from repro.models.zoo import list_models
 from repro.search.registry import build_algorithm, list_algorithms
@@ -136,6 +142,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_device_list(spec: str | None) -> tuple[list[str] | None, str | None]:
+    """Parse/validate ``--devices``; returns ``(names, error)``.
+
+    ``None`` spec means the flag was not given — the single ``--device``
+    default applies. An empty list, blank entries, or unknown device names
+    are errors (exit-2 convention, with a nearest-name suggestion).
+    """
+    if spec is None:
+        return None, None
+    names = [name.strip() for name in spec.split(",")]
+    if not any(names):
+        return None, "--devices must name at least one device"
+    if any(not name for name in names):
+        return None, f"--devices has an empty entry in {spec!r}"
+    known = list_devices()
+    for name in names:
+        if name not in known:
+            return None, (
+                f"--devices: unknown device {name!r}"
+                f"{did_you_mean(name, known)}; known: {', '.join(known)}"
+            )
+    return names, None
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.requests < 1:
         print(f"error: --requests must be >= 1, got {args.requests}", file=sys.stderr)
@@ -152,9 +182,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    device_names, device_error = _parse_device_list(args.devices)
+    if device_error is not None:
+        print(f"error: {device_error}", file=sys.stderr)
+        return 2
     factory = fasttts_config if args.system == "fasttts" else baseline_config
     config = factory(
-        device_name=args.device,
+        device_name=(device_names[0] if device_names else args.device),
         model_config=args.config,
         memory_fraction=args.memory_fraction,
         seed=args.seed,
@@ -169,17 +203,25 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     reports = {}
     for policy in policies:
         fleet = TTSFleet(
-            config, dataset, max_in_flight=args.max_in_flight, scheduler=policy
+            config, dataset, max_in_flight=args.max_in_flight, scheduler=policy,
+            devices=device_names, placement=args.placement,
+            oversubscription=args.oversubscription,
         )
         fleet.submit_stream(list(dataset), algorithm, arrivals)
         reports[policy] = fleet.drain()
 
+    device_label = ",".join(device_names) if device_names else args.device
     workload = (f"{args.requests} requests @ {args.rate}/s ({args.arrivals}) "
-                f"| {args.system} {args.config} on {args.device} "
+                f"| {args.system} {args.config} on {device_label} "
                 f"| {args.algorithm} n={args.n}")
+    multi_device = device_names is not None and len(device_names) > 1
+    if multi_device:
+        workload += f" | placement {args.placement}"
     if len(reports) == 1:
         policy, report = next(iter(reports.items()))
         print(report.table(title=f"fleet [{policy}]: {workload}"))
+        if multi_device:
+            print(report.device_table(title="per-device utilization"))
         for record in report.records:
             if not record.accepted:
                 print(f"rejected {record.request_id}: {record.reject_reason}")
@@ -195,6 +237,28 @@ def _cmd_schedulers(args: argparse.Namespace) -> int:
     rows = [[name, desc] for name, desc in scheduler_descriptions().items()]
     print(render_table(["scheduler", "policy"], rows,
                        title="registered request schedulers"))
+    rows = [[name, desc] for name, desc in placement_descriptions().items()]
+    print(render_table(["placement", "policy"], rows,
+                       title="registered placement policies"))
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    rows = []
+    for name in list_devices():
+        spec = get_device(name)
+        rows.append([
+            name,
+            round(spec.vram_bytes / 1024**3, 1),
+            round(spec.peak_flops / 1e12, 1),
+            round(spec.mem_bandwidth / 1e9, 1),
+            round(spec.pcie_bandwidth / 1e9, 1),
+        ])
+    print(render_table(
+        ["device", "vram GB", "peak TFLOP/s", "mem GB/s", "pcie GB/s"],
+        rows,
+        title="registered devices",
+    ))
     return 0
 
 
@@ -288,10 +352,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "every registered policy on the same workload")
     fleet.add_argument("--max-in-flight", type=int, default=None,
                        help="admission-control cap on queued+running requests")
+    fleet.add_argument("--devices", default=None, metavar="NAME[,NAME...]",
+                       help="comma-separated device pool (overrides --device), "
+                            "e.g. rtx4090,rtx4070ti")
+    fleet.add_argument("--placement", choices=list_placements(),
+                       default="first_fit",
+                       help="how new requests spread across the device pool")
+    fleet.add_argument("--oversubscription", choices=("swap", "deny"),
+                       default="swap",
+                       help="KV contention policy: charge eviction/restore "
+                            "PCIe time (swap) or refuse admission (deny)")
     fleet.add_argument("--memory-fraction", type=float, default=0.4)
     fleet.add_argument("--seed", type=int, default=0)
 
-    sub.add_parser("schedulers", help="list request-scheduling policies")
+    sub.add_parser("schedulers",
+                   help="list request-scheduling and placement policies")
+
+    sub.add_parser("devices", help="list registered device specs")
 
     report = sub.add_parser("report", help="deployment feasibility report")
     report.add_argument("--config", default="1.5B+1.5B")
@@ -312,6 +389,7 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "fleet": _cmd_fleet,
     "schedulers": _cmd_schedulers,
+    "devices": _cmd_devices,
     "report": _cmd_report,
     "straggler": _cmd_straggler,
 }

@@ -13,6 +13,17 @@ from repro.core.generation_round import (
     GenerationRound,
     GenerationRoundResult,
 )
+from repro.core.pool import (
+    DevicePool,
+    FirstFitPlacement,
+    KvBalancedPlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    PooledDevice,
+    build_placement,
+    list_placements,
+    placement_descriptions,
+)
 from repro.core.scheduler import (
     FifoScheduler,
     FirstFinishScheduler,
@@ -61,6 +72,15 @@ __all__ = [
     "FleetRequest",
     "FleetReport",
     "generate_arrivals",
+    "DevicePool",
+    "PooledDevice",
+    "PlacementPolicy",
+    "FirstFitPlacement",
+    "LeastLoadedPlacement",
+    "KvBalancedPlacement",
+    "build_placement",
+    "list_placements",
+    "placement_descriptions",
     "AllocationPlan",
     "WorkloadProfile",
     "RooflineAllocator",

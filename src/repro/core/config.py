@@ -12,6 +12,7 @@ from dataclasses import dataclass, fields, replace
 from enum import Enum
 
 from repro.errors import ConfigError
+from repro.utils.suggest import did_you_mean
 
 __all__ = ["OffloadMode", "ServerConfig", "baseline_config", "fasttts_config"]
 
@@ -104,15 +105,17 @@ class ServerConfig:
     def with_overrides(self, **kwargs) -> "ServerConfig":
         """Functional update (configs are frozen).
 
-        Unknown keys raise :class:`ConfigError` naming the offender,
-        rather than surfacing dataclass internals as a raw ``TypeError``.
+        Unknown keys raise :class:`ConfigError` naming the offender (and
+        suggesting the nearest known key), rather than surfacing dataclass
+        internals as a raw ``TypeError``.
         """
         known = {f.name for f in fields(self)}
         unknown = sorted(set(kwargs) - known)
         if unknown:
-            raise ConfigError(
-                f"unknown ServerConfig key(s): {', '.join(unknown)}"
+            labelled = ", ".join(
+                f"{key}{did_you_mean(key, known)}" for key in unknown
             )
+            raise ConfigError(f"unknown ServerConfig key(s): {labelled}")
         return replace(self, **kwargs)
 
 

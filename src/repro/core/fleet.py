@@ -1,47 +1,51 @@
-"""Multi-request serving: ``TTSFleet`` multiplexes queued solves on one device.
+"""Multi-request serving: ``TTSFleet`` multiplexes queued solves on a device pool.
 
 The figure experiments measure one solve at a time; a deployed edge system
 sees a *stream* of requests. ``TTSFleet`` adds that serving dimension on
-top of :class:`~repro.core.server.TTSServer`. Since the SolveSession
-redesign the fleet no longer calls ``server.solve()`` run-to-completion:
-every admitted request becomes one or more resumable
-:class:`~repro.core.session.SolveSession` objects, and a pluggable
-:class:`~repro.core.scheduler.RequestScheduler` policy decides, between
-rounds, which session occupies the device next. That makes
-smarter-than-FIFO serving (SJF, round-robin time-slicing, First-Finish
-racing with cancellation) a policy choice instead of an architecture
-change:
+top of a :class:`~repro.core.pool.DevicePool` — one or many simulated
+devices, each its own :class:`~repro.core.server.TTSServer`, clock lane
+and per-device KV ledger. Every admitted request is placed on one device
+(a :class:`~repro.core.pool.PlacementPolicy`, or the scheduler's
+``choose_device`` override) and becomes one or more resumable
+:class:`~repro.core.session.SolveSession` objects; between rounds a
+pluggable :class:`~repro.core.scheduler.RequestScheduler` policy decides,
+per device, which session occupies it next. That makes smarter-than-FIFO
+serving (SJF, round-robin time-slicing, First-Finish racing with
+cancellation) *and* fleet scaling (heterogeneous pools, placement,
+migration) policy choices instead of architecture changes:
 
-* requests carry **arrival times on the fleet's shared**
-  :class:`~repro.engine.clock.SimClock`; each session keeps its own
-  service-time clock, and a :class:`~repro.engine.clock.ClockBinding`
-  anchors it onto the fleet timeline whenever the scheduler hands it the
-  device;
+* requests carry **arrival times on the pool's shared timeline**; each
+  session keeps its own service-time clock, and a
+  :class:`~repro.engine.clock.ClockBinding` anchors it onto its device's
+  lane whenever the scheduler hands it the device;
 * an arrival that lands *during* a solve preempts Phase-2 speculation via
   the session's arrival hook (Sec. 4.1.2), so a busy fleet automatically
   sheds speculative work;
 * **admission control**: a request whose beam budget cannot be planned
-  inside the KV budget is rejected up front (:class:`CapacityError` from
-  the allocator), as is any arrival that would exceed ``max_in_flight``
-  queued-plus-running requests (replica sessions of one request count
-  once);
+  inside any device's KV budget is rejected up front
+  (:class:`CapacityError` from the allocator), as is any arrival that
+  would exceed ``max_in_flight`` queued-plus-running requests (replica
+  sessions of one request count once). With
+  ``oversubscription="deny"``, a request whose planned KV would
+  oversubscribe every eligible device's ledger is also refused;
+* **KV contention is charged**: with the default
+  ``oversubscription="swap"``, interleaved sessions whose combined KV
+  oversubscribes a device's ledger pay PCIe swap time — the
+  least-recently-run co-resident's KV is written out to host, and a
+  paused session's evicted KV is read back before it resumes
+  (:class:`~repro.hardware.memory.KVLedger`). Run-to-completion policies
+  never trigger it; interleaving policies now pay the true price of
+  co-residency instead of getting paused KV for free;
 * the run aggregates into :class:`~repro.metrics.fleet.FleetMetrics` —
-  request throughput, p50/p95 queueing delay, busy fraction, and
-  cancelled-work time for racing schedulers.
+  request throughput, p50/p95 queueing delay and sojourn, busy fraction,
+  KV swap time, cancelled-work time for racing schedulers — plus a
+  per-device :class:`~repro.metrics.fleet.DeviceUtilization` rollup.
 
 Everything stays simulated and deterministic: a fleet run is a pure
-function of (config, dataset, submitted requests, scheduler policy), and
-``scheduler="fifo"`` reproduces the pre-session fleet byte for byte
-(pinned by ``tests/goldens/fleet_fifo_goldens.json``).
-
-Modeling simplification: sessions own private KV caches, and the
-simulation does not yet charge cross-session KV contention — a paused
-session's resident KV neither evicts other sessions' blocks nor pays
-swap/recompute on resume. Run-to-completion policies (fifo, sjf) are
-unaffected; for interleaving policies (round_robin, first_finish) the
-reported latencies are therefore a lower bound on a device where many
-sessions' KV cannot fit simultaneously. Charging that contention is an
-open ROADMAP item (cross-request KV sharing inside ``TTSFleet``).
+function of (pool, submitted requests, scheduler policy, placement
+policy), and a single-device pool with ``scheduler="fifo"`` reproduces
+the pre-pool fleet byte for byte (pinned by
+``tests/goldens/fleet_fifo_goldens.json``).
 """
 
 from __future__ import annotations
@@ -50,12 +54,13 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.config import ServerConfig
+from repro.core.pool import DevicePool, PlacementPolicy, PooledDevice, build_placement
 from repro.core.scheduler import RequestScheduler, SessionHandle, build_scheduler
 from repro.core.server import TTSServer
 from repro.core.session import SessionState
-from repro.engine.clock import ClockBinding, SimClock
-from repro.errors import CapacityError
-from repro.metrics.fleet import FleetMetrics, FleetRequestRecord
+from repro.engine.clock import ClockBinding
+from repro.errors import CapacityError, ConfigError
+from repro.metrics.fleet import DeviceUtilization, FleetMetrics, FleetRequestRecord
 from repro.metrics.report import ProblemRunResult
 from repro.search.base import SearchAlgorithm
 from repro.utils.rng import KeyedRng
@@ -114,13 +119,22 @@ class FleetReport:
     records: tuple[FleetRequestRecord, ...]
     results: dict[str, ProblemRunResult] = field(default_factory=dict)
     scheduler: str = "fifo"
+    placement: str = "first_fit"
+    devices: tuple[DeviceUtilization, ...] = ()
 
     @property
     def metrics(self) -> FleetMetrics:
-        return FleetMetrics.aggregate(self.records)
+        return FleetMetrics.aggregate(
+            self.records, pool_size=len(self.devices) or None
+        )
 
     def table(self, title: str | None = None) -> str:
         return self.metrics.table(title=title)
+
+    def device_table(self, title: str | None = None) -> str:
+        from repro.metrics.fleet import device_table
+
+        return device_table(self.devices, title=title)
 
 
 @dataclass(slots=True)
@@ -130,6 +144,7 @@ class _RequestState:
     request: FleetRequest
     seq: int
     handles: list[SessionHandle]
+    device: PooledDevice
     start_s: float | None = None
     record: FleetRequestRecord | None = None
 
@@ -139,50 +154,92 @@ class _RequestState:
 
 
 class TTSFleet:
-    """Scheduler-driven multiplexing of solve requests over one device.
+    """Scheduler-driven multiplexing of solve requests over a device pool.
 
     Submit requests (``submit`` / ``submit_stream``), then ``drain()`` to
-    simulate the whole run and collect the :class:`FleetReport`. The fleet
-    owns a shared :class:`SimClock`; sessions run on private clocks that a
-    :class:`ClockBinding` stitches onto the shared timeline round by
-    round, so any :class:`RequestScheduler` policy — FIFO, SJF,
-    round-robin, First-Finish racing — can interleave them.
+    simulate the whole run and collect the :class:`FleetReport`. Each pool
+    lane owns a :class:`~repro.engine.clock.SimClock` on a shared time
+    origin; sessions run on private clocks that a :class:`ClockBinding`
+    stitches onto their lane round by round, so any
+    :class:`RequestScheduler` policy — FIFO, SJF, round-robin,
+    First-Finish racing — can interleave them, and any
+    :class:`~repro.core.pool.PlacementPolicy` can spread requests across
+    the lanes.
+
+    Construct either from ``(config, dataset)`` — optionally with
+    ``devices=["rtx4090", "rtx4070ti"]`` to span several device specs — or
+    from a prepared ``pool=DevicePool(...)``.
     """
 
     def __init__(
         self,
-        config: ServerConfig,
-        dataset: Dataset,
+        config: ServerConfig | None = None,
+        dataset: Dataset | None = None,
         max_in_flight: int | None = None,
         scheduler: RequestScheduler | str = "fifo",
+        pool: DevicePool | None = None,
+        placement: PlacementPolicy | str = "first_fit",
+        devices: list[str] | None = None,
+        oversubscription: str = "swap",
     ) -> None:
         if max_in_flight is not None and max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1 when set")
-        self._server = TTSServer(config, dataset)
-        self._clock = SimClock()
+        if pool is None:
+            if config is None or dataset is None:
+                raise ConfigError(
+                    "TTSFleet needs either a DevicePool (pool=...) or a "
+                    "(config, dataset) pair to build one"
+                )
+            pool = DevicePool.build(config, dataset, device_names=devices)
+        elif config is not None or dataset is not None or devices is not None:
+            raise ConfigError(
+                "pass either pool=... or (config, dataset[, devices]), not both"
+            )
+        if oversubscription not in ("swap", "deny"):
+            raise ConfigError(
+                f"oversubscription must be 'swap' or 'deny', got {oversubscription!r}"
+            )
+        self._pool = pool
+        self._oversubscription = oversubscription
         self._max_in_flight = max_in_flight
         self._scheduler = (
             build_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
         )
+        self._placement = (
+            build_placement(placement) if isinstance(placement, str) else placement
+        )
         self._queue: list[FleetRequest] = []
         self._next_id = 0
-        # Allocation feasibility is a pure function of n for a fixed
-        # dataset, so admission memoizes the (often expensive) plan search.
-        self._kv_verdicts: dict[int, str | None] = {}
+        # Allocation feasibility is a pure function of (device, n) for a
+        # fixed dataset, so admission memoizes the (often expensive) plan
+        # search; the planned on-device KV claim rides along for the
+        # ledger bookkeeping and deny-mode admission.
+        self._kv_verdicts: dict[tuple[int, int], str | None] = {}
+        self._kv_claims: dict[tuple[int, int], int] = {}
 
     # -- submission ------------------------------------------------------
 
     @property
-    def server(self) -> TTSServer:
-        return self._server
+    def pool(self) -> DevicePool:
+        return self._pool
 
     @property
-    def clock(self) -> SimClock:
-        return self._clock
+    def server(self) -> TTSServer:
+        """The first pool device's server (single-device compatibility)."""
+        return self._pool[0].server
+
+    @property
+    def clock(self):
+        """The first pool device's clock lane (single-device compatibility)."""
+        return self._pool[0].clock
 
     @property
     def scheduler(self) -> RequestScheduler:
         return self._scheduler
+
+    @property
+    def placement(self) -> PlacementPolicy:
+        return self._placement
 
     @property
     def pending(self) -> int:
@@ -221,41 +278,87 @@ class TTSFleet:
             for problem, arrival in zip(problems, arrivals)
         ]
 
-    # -- the serving loop ------------------------------------------------
+    # -- admission -------------------------------------------------------
 
-    def _admission_reason(
+    def _kv_verdict(self, lane: PooledDevice, n: int) -> str | None:
+        """Can ``lane``'s allocator plan a beam budget of ``n``? Memoized."""
+        key = (lane.index, n)
+        if key not in self._kv_verdicts:
+            try:
+                plan = lane.server.plan_allocation(n)
+            except CapacityError as error:
+                self._kv_verdicts[key] = f"KV budget: {error}"
+                self._kv_claims[key] = 0
+            else:
+                self._kv_verdicts[key] = None
+                self._kv_claims[key] = plan.kv_total_bytes
+        return self._kv_verdicts[key]
+
+    def _admission(
         self,
         request: FleetRequest,
         finish_times: list[float],
         running_requests: int,
-    ) -> str | None:
-        """Admission control at arrival; returns a reject reason or ``None``."""
+    ) -> tuple[str | None, list[PooledDevice]]:
+        """Admission control at arrival.
+
+        Returns ``(reject_reason, eligible_devices)``; exactly one of the
+        two is meaningful. Checks run in the legacy order — queue depth
+        first, then per-device KV feasibility, then (deny mode only)
+        ledger headroom.
+        """
         if self._max_in_flight is not None:
             in_flight = running_requests + sum(
                 1 for f in finish_times if f > request.arrival_s
             )
             if in_flight >= self._max_in_flight:
-                return f"queue full (max_in_flight={self._max_in_flight})"
+                return f"queue full (max_in_flight={self._max_in_flight})", []
         n = request.algorithm.n
-        if n not in self._kv_verdicts:
-            try:
-                self._server.plan_allocation(n)
-            except CapacityError as error:
-                self._kv_verdicts[n] = f"KV budget: {error}"
-            else:
-                self._kv_verdicts[n] = None
-        return self._kv_verdicts[n]
+        eligible = [
+            lane for lane in self._pool if self._kv_verdict(lane, n) is None
+        ]
+        if not eligible:
+            # Every lane refused; surface the first lane's allocator error
+            # (identical to the single-device fleet's reject reason).
+            return self._kv_verdict(self._pool[0], n), []
+        if self._oversubscription == "deny":
+            fitting = [
+                lane for lane in eligible
+                if lane.planned_kv_bytes + self._kv_claims[(lane.index, n)]
+                <= lane.ledger.capacity_bytes
+            ]
+            if not fitting:
+                return (
+                    f"KV budget: admitting n={n} would oversubscribe every "
+                    f"device's KV ledger (co-resident sessions hold the "
+                    f"planned capacity)",
+                    [],
+                )
+            eligible = fitting
+        return None, eligible
+
+    # -- the serving loop ------------------------------------------------
 
     def drain(self) -> FleetReport:
         """Serve every queued request through the scheduler and aggregate.
 
-        The loop alternates between admitting arrivals the shared clock
-        has reached and asking the scheduler which runnable session gets
-        the device for one round. Arrivals landing during a session's
-        service reach its preemption hook (as offsets on that session's
-        clock, plus an explicit signal for interleaved schedules), so
-        speculation halts as soon as the fleet has a waiting customer —
-        the same minimal-residual-work policy as ``TTSServer.serve_stream``.
+        The loop interleaves the pool's lanes in deterministic time order:
+        the runnable lane furthest behind acts next, and an arrival is
+        admitted (and placed on a device) as soon as every runnable lane
+        has reached its arrival time — or immediately, when the whole pool
+        is idle. Arrivals landing during a session's service reach its
+        preemption hook (as offsets on that session's clock, plus an
+        explicit signal for interleaved schedules), so speculation halts
+        as soon as the fleet has a waiting customer — the same
+        minimal-residual-work policy as ``TTSServer.serve_stream``.
+
+        Arrival preemption is deliberately *pool-global*: a session sheds
+        speculative work when any later request arrives, even one placed
+        on another lane. Per-lane preemption is not expressible here —
+        the offsets are installed at service start, when later requests'
+        placements have not happened yet — and the global rule is the
+        conservative reading of Sec. 4.1.2 (a busy fleet sheds
+        speculation); it slightly understates multi-device speedups.
         """
         order = sorted(
             range(len(self._queue)), key=lambda i: (self._queue[i].arrival_s, i)
@@ -268,24 +371,35 @@ class TTSFleet:
         records: dict[int, FleetRequestRecord] = {}
         results: dict[str, ProblemRunResult] = {}
         finish_times: list[float] = []
-        clock = self._clock
-        current: SessionHandle | None = None
+        lanes = list(self._pool)
+        current: dict[int, SessionHandle | None] = {lane.index: None for lane in lanes}
         turn = 0
 
         def running_requests() -> int:
             return sum(1 for st in states.values() if not st.finished)
 
-        def live_handles() -> list[SessionHandle]:
+        def lane_runnable(lane: PooledDevice) -> list[SessionHandle]:
             return [
                 h
                 for st in states.values()
-                if not st.finished
+                if not st.finished and st.device is lane
                 for h in st.handles
                 if h.runnable
             ]
 
+        def acting_lane() -> PooledDevice | None:
+            best = None
+            for lane in lanes:
+                if not lane_runnable(lane):
+                    continue
+                if best is None or lane.clock.now < best.clock.now:
+                    best = lane
+            return best
+
         def admit(seq: int, request: FleetRequest) -> None:
-            reason = self._admission_reason(request, finish_times, running_requests())
+            reason, eligible = self._admission(
+                request, finish_times, running_requests()
+            )
             if reason is not None:
                 records[seq] = FleetRequestRecord(
                     request_id=request.request_id,
@@ -296,7 +410,10 @@ class TTSFleet:
                     reject_reason=reason,
                 )
             else:
-                sessions = self._scheduler.sessions_for(self._server, request)
+                device = self._scheduler.choose_device(
+                    request, eligible, self._placement, request.arrival_s
+                )
+                sessions = self._scheduler.sessions_for(device.server, request)
                 handles = [
                     SessionHandle(
                         request_id=request.request_id,
@@ -305,10 +422,17 @@ class TTSFleet:
                         replica=replica,
                         session=session,
                         binding=ClockBinding(session.clock),
+                        device=device,
                     )
                     for replica, session in enumerate(sessions)
                 ]
-                states[seq] = _RequestState(request=request, seq=seq, handles=handles)
+                states[seq] = _RequestState(
+                    request=request, seq=seq, handles=handles, device=device
+                )
+                device.live_requests += 1
+                device.planned_kv_bytes += self._kv_claims[
+                    (device.index, request.algorithm.n)
+                ]
             # Either way somebody new showed up: running sessions must stop
             # speculating (round-granular analogue of the arrival offsets).
             for st in states.values():
@@ -318,7 +442,40 @@ class TTSFleet:
                     if h.start_s is not None and h.runnable:
                         h.session.notify_arrival()
 
-        def settle(handle: SessionHandle) -> None:
+        def charge_swap(
+            lane: PooledDevice,
+            handle: SessionHandle,
+            restored: int,
+            evicted: list[tuple[str, int]],
+        ) -> None:
+            """Charge PCIe time for ledger traffic to the session that caused it."""
+            dt = sum(
+                lane.link.transfer_time(num_bytes) for _, num_bytes in evicted
+            )
+            if restored:
+                dt += lane.link.transfer_time(restored)
+            if dt == 0:
+                return
+            handle.session.charge_kv_swap(dt)
+            handle.kv_swap_s += dt
+            lane.kv_swap_s += dt
+
+        def charge_restore(lane: PooledDevice, handle: SessionHandle) -> None:
+            """Bring a resumed session's evicted KV back; charge the reads."""
+            restored, evicted = lane.ledger.restore(handle.session.session_id)
+            charge_swap(lane, handle, restored, evicted)
+
+        def charge_growth(lane: PooledDevice, handle: SessionHandle) -> None:
+            """Post-round ledger update; the grower pays for evictions."""
+            session = handle.session
+            if not session.state.live:
+                return  # released in settle()
+            evicted = lane.ledger.charge_growth(
+                session.session_id, session.resident_kv_bytes
+            )
+            charge_swap(lane, handle, 0, evicted)
+
+        def settle(handle: SessionHandle, lane: PooledDevice) -> None:
             st = states[handle.seq]
             siblings = st.handles
             if self._scheduler.race_decided(handle, siblings):
@@ -336,12 +493,14 @@ class TTSFleet:
                 if h.session.state.live:
                     h.session.cancel()
                 cancelled_work += h.session.clock.now
+            for h in siblings:
+                lane.ledger.release(h.session.session_id)
             result = winner.session.outcome.result
             records[st.seq] = FleetRequestRecord(
                 request_id=st.request.request_id,
                 arrival_s=st.request.arrival_s,
                 start_s=st.start_s,
-                finish_s=clock.now,
+                finish_s=lane.clock.now,
                 latency=result.latency,
                 replicas=len(siblings),
                 cancelled_work_s=cancelled_work,
@@ -349,24 +508,31 @@ class TTSFleet:
                 # start→finish window also contains other requests' rounds
                 # under interleaving schedulers.
                 device_time_s=winner.session.clock.now + cancelled_work,
+                device_id=lane.device_id,
+                kv_swap_s=sum(h.kv_swap_s for h in siblings),
             )
             st.record = records[st.seq]
             results[st.request.request_id] = result
-            finish_times.append(clock.now)
+            finish_times.append(lane.clock.now)
+            lane.live_requests -= 1
+            lane.planned_kv_bytes -= self._kv_claims[
+                (lane.index, st.request.algorithm.n)
+            ]
+            lane.requests_served += 1
 
         while True:
-            while pending and pending[0][1].arrival_s <= clock.now:
-                admit(*pending.popleft())
-            runnable = live_handles()
-            if not runnable:
-                if not pending:
-                    break
-                # Device idle: the next arrival can be admitted early —
-                # its service still begins no sooner than its arrival.
+            act = acting_lane()
+            if pending and (act is None or pending[0][1].arrival_s <= act.clock.now):
+                # Every lane with work has reached the arrival time (or the
+                # pool is idle — early admission: service still begins no
+                # sooner than the arrival itself).
                 admit(*pending.popleft())
                 continue
+            if act is None:
+                break
 
-            handle = self._scheduler.pick(runnable, clock.now)
+            clock = act.clock
+            handle = self._scheduler.pick(lane_runnable(act), clock.now)
             session = handle.session
             if handle.start_s is None:
                 start = max(clock.now, handle.arrival_s)
@@ -386,21 +552,27 @@ class TTSFleet:
                 if start > clock.now:
                     clock.advance(start - clock.now)  # idle gap
                 handle.binding.rebind(clock)
-            elif handle is not current:
+            elif handle is not current[act.index]:
                 handle.binding.rebind(clock)
+                charge_restore(act, handle)
 
             if session.state is SessionState.ADMITTED:
                 session.step()  # zero-cost setup: plan, caches, workers
             session.step()  # one generation / verification / finalize round
+            charge_growth(act, handle)
             handle.binding.sync(clock)
             handle.last_stepped = turn
             turn += 1
-            current = handle
+            current[act.index] = handle
             if session.state is SessionState.DONE:
-                settle(handle)
+                settle(handle, act)
 
         return FleetReport(
             records=tuple(records[seq] for seq in sorted(records)),
             results=results,
             scheduler=self._scheduler.name,
+            placement=self._placement.name,
+            devices=DeviceUtilization.rollup(
+                tuple(records[seq] for seq in sorted(records)), lanes
+            ),
         )

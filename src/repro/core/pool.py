@@ -1,0 +1,388 @@
+"""Multi-device serving: ``DevicePool`` lanes, placement policies, migration.
+
+The fleet used to be hard-wired to one :class:`~repro.core.server.TTSServer`.
+A :class:`DevicePool` generalizes that to N simulated devices, each a
+:class:`PooledDevice` lane holding
+
+* its own :class:`~repro.core.server.TTSServer` (same model pairing,
+  dataset and seed across the pool; the device spec — and with it the
+  roofline cost model and memory budget — differs per lane),
+* its own :class:`~repro.engine.clock.SimClock` timeline (all lanes share
+  one time origin, so lane times are directly comparable and the fleet can
+  interleave them deterministically), and
+* a per-device :class:`~repro.hardware.memory.KVLedger` that accounts the
+  KV footprints of the sessions co-resident on that device. Interleaving
+  schedulers pause sessions with KV still resident; when co-residents
+  oversubscribe the budget, the ledger swaps the least-recently-run
+  sessions to host memory and the fleet charges the PCIe time — closing
+  the "paused KV is free" simplification flagged in the ROADMAP.
+
+Placement — *which device serves a new request* — is a policy axis
+orthogonal to request scheduling (*which session gets the next round on a
+device*). :class:`PlacementPolicy` implementations ship in a registry
+mirroring the scheduler one (``first_fit``, ``least_loaded``,
+``kv_balanced``), and :meth:`~repro.core.scheduler.RequestScheduler
+.choose_device` lets a scheduler override the fleet's placement policy
+outright.
+
+:meth:`DevicePool.migrate` moves a live session between lanes: its
+device-resident KV is written out over the source link, read back over the
+destination link (both charged — to the session's clock, since migration
+is part of serving that request, and to both lane timelines), the ledgers
+hand the footprint over, and the session's workers are rebuilt against the
+destination roofline via
+:meth:`~repro.core.session.SolveSession.rebind_device`.
+
+A single-device pool with the fifo scheduler is byte-identical to the
+pre-pool fleet (pinned by ``tests/goldens/fleet_fifo_goldens.json``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.core.server import TTSServer
+from repro.engine.clock import SimClock
+from repro.errors import ConfigError, SchedulingError
+from repro.hardware.memory import KVLedger
+from repro.utils.suggest import did_you_mean
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import ServerConfig
+    from repro.core.fleet import FleetRequest
+    from repro.core.scheduler import SessionHandle
+    from repro.workloads.problem import Dataset
+
+__all__ = [
+    "PooledDevice",
+    "DevicePool",
+    "PlacementPolicy",
+    "FirstFitPlacement",
+    "LeastLoadedPlacement",
+    "KvBalancedPlacement",
+    "build_placement",
+    "list_placements",
+    "placement_descriptions",
+]
+
+
+@dataclass
+class PooledDevice:
+    """One device lane of a :class:`DevicePool`.
+
+    Owns the lane's server, clock and KV ledger, plus the load statistics
+    placement policies read (maintained by the fleet as requests are
+    placed and settled) and the migration/swap counters the per-device
+    metrics rollup reports.
+    """
+
+    index: int
+    server: TTSServer
+    clock: SimClock = field(default=None)  # type: ignore[assignment]
+    ledger: KVLedger = field(default=None)  # type: ignore[assignment]
+    # -- fleet-maintained load state (placement inputs) -------------------
+    live_requests: int = 0
+    planned_kv_bytes: int = 0
+    # -- rollup counters ---------------------------------------------------
+    requests_served: int = 0
+    migrations_in: int = 0
+    migrations_out: int = 0
+    kv_swap_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.clock is None:
+            self.clock = SimClock(label=self.device_id)
+        if self.ledger is None:
+            self.ledger = KVLedger(self.server.kv_budget_bytes)
+
+    @property
+    def device_id(self) -> str:
+        """Stable lane identifier, e.g. ``"dev0:rtx4090"``."""
+        return f"dev{self.index}:{self.spec.name}"
+
+    @property
+    def spec(self):
+        return self.server.device
+
+    @property
+    def link(self):
+        return self.server.link
+
+    @property
+    def kv_load_fraction(self) -> float:
+        """Planned KV claims of live requests over the lane's KV budget."""
+        return self.planned_kv_bytes / self.ledger.capacity_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PooledDevice({self.device_id}, t={self.clock.now:.3f}, "
+            f"live={self.live_requests})"
+        )
+
+
+class DevicePool:
+    """N simulated devices a fleet schedules sessions across.
+
+    Build one from a shared config with :meth:`build` (one server per
+    device name, identical models/dataset/seed), or hand in prepared
+    :class:`PooledDevice` lanes. The pool validates that every lane serves
+    the same model pairing and seed — placement and migration both rely on
+    a request producing identical *search* results on any lane, with only
+    timing differing.
+    """
+
+    def __init__(self, devices: Sequence[PooledDevice]) -> None:
+        if not devices:
+            raise ConfigError("a DevicePool needs at least one device")
+        reference = devices[0].server
+        for lane in devices[1:]:
+            server = lane.server
+            if (
+                server.gen_model.name != reference.gen_model.name
+                or server.ver_model.name != reference.ver_model.name
+                or server.config.seed != reference.config.seed
+                or server.dataset is not reference.dataset
+            ):
+                raise ConfigError(
+                    "every pool device must share the model pairing, seed "
+                    "and dataset; only the device spec may differ "
+                    f"(lane {lane.device_id} disagrees with "
+                    f"{devices[0].device_id})"
+                )
+        self._devices = tuple(devices)
+
+    @classmethod
+    def build(
+        cls,
+        config: "ServerConfig",
+        dataset: "Dataset",
+        device_names: Sequence[str] | None = None,
+    ) -> "DevicePool":
+        """One lane per device name, servers sharing everything but the device.
+
+        ``device_names=None`` builds the single-device pool of
+        ``config.device_name`` — the exact pre-pool fleet.
+        """
+        if device_names is None:
+            names = [config.device_name]
+        else:
+            names = list(device_names)
+            if not names:
+                raise ConfigError("device_names must not be empty")
+        devices = []
+        for index, name in enumerate(names):
+            lane_config = (
+                config if name == config.device_name
+                else config.with_overrides(device_name=name)
+            )
+            devices.append(
+                PooledDevice(index=index, server=TTSServer(lane_config, dataset))
+            )
+        return cls(devices)
+
+    # -- container surface -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __iter__(self):
+        return iter(self._devices)
+
+    def __getitem__(self, index: int) -> PooledDevice:
+        return self._devices[index]
+
+    @property
+    def devices(self) -> tuple[PooledDevice, ...]:
+        return self._devices
+
+    def device_by_id(self, device_id: str) -> PooledDevice:
+        for lane in self._devices:
+            if lane.device_id == device_id:
+                return lane
+        known = [lane.device_id for lane in self._devices]
+        raise ConfigError(
+            f"no pool device {device_id!r}{did_you_mean(device_id, known)}; "
+            f"lanes: {', '.join(known)}"
+        )
+
+    # -- migration ---------------------------------------------------------
+
+    def migrate(self, handle: "SessionHandle", destination: PooledDevice) -> float:
+        """Hand a live session over to another lane; returns seconds charged.
+
+        The session's device-resident KV is written out over the source
+        PCIe link and its full KV read back over the destination link
+        (host-swapped KV needs no source transfer — it already lives in
+        host memory, which the lanes share). Both lane clocks advance —
+        the destination cannot resume the session before the data lands —
+        and the session's own clock is charged under the SWAP phase, so
+        migration shows up in the request's latency breakdown. Ledgers
+        hand the footprint over; if the destination must evict co-resident
+        sessions to make room, those writes are charged too.
+
+        Raises :class:`~repro.errors.CapacityError` (before charging
+        anything) when the session's KV cannot fit the destination budget,
+        and :class:`~repro.errors.SchedulingError` for dead sessions or
+        lanes outside this pool.
+        """
+        source = handle.device
+        if source is None:
+            raise SchedulingError("cannot migrate a handle not placed on any device")
+        if source not in self._devices or destination not in self._devices:
+            raise SchedulingError("migration source and destination must be pool lanes")
+        if destination is source:
+            return 0.0
+        session = handle.session
+        if not session.state.live:
+            raise SchedulingError(
+                f"cannot migrate {session.session_id} in state {session.state.value}"
+            )
+        owner = session.session_id
+        out_bytes = source.ledger.resident_of(owner)
+        total_bytes = out_bytes + source.ledger.swapped_of(owner)
+        if total_bytes == 0:
+            # Untracked (or not yet started): fall back to the session's
+            # own footprint, fully device-resident on the source.
+            out_bytes = total_bytes = session.resident_kv_bytes
+
+        # Admission on the destination ledger first — a refused migration
+        # must not have advanced any clock.
+        evicted = destination.ledger.admit(owner, total_bytes)
+        source.ledger.release(owner)
+
+        dt_out = source.link.transfer_time(out_bytes) if out_bytes else 0.0
+        dt_in = destination.link.transfer_time(total_bytes) if total_bytes else 0.0
+        dt_evict = sum(
+            destination.link.transfer_time(num_bytes) for _, num_bytes in evicted
+        )
+
+        # The session's service so far ends at anchor + local time on the
+        # source timeline; the write-out starts there (or now, if the lane
+        # has moved past it serving others).
+        departed = max(
+            source.clock.now, handle.binding.anchor + session.clock.now
+        ) + dt_out
+        source.clock.advance_to(departed)
+        arrived = max(destination.clock.now, departed) + dt_evict + dt_in
+        destination.clock.advance_to(arrived)
+
+        charged = dt_out + dt_evict + dt_in
+        session.charge_kv_swap(charged)
+        session.rebind_device(destination.server)
+        handle.binding.rebind(destination.clock)
+        handle.device = destination
+        handle.kv_swap_s += charged
+
+        source.migrations_out += 1
+        destination.migrations_in += 1
+        source.kv_swap_s += dt_out
+        destination.kv_swap_s += dt_evict + dt_in
+        return charged
+
+
+# -- placement policies ------------------------------------------------------
+
+
+class PlacementPolicy(ABC):
+    """Which pool device serves a newly admitted request.
+
+    Policies see only lanes *eligible* for the request (devices whose
+    allocator can plan its beam budget inside their KV budget; the fleet
+    filters first) and must be deterministic functions of lane state.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+
+    @abstractmethod
+    def choose(
+        self,
+        request: "FleetRequest",
+        devices: Sequence[PooledDevice],
+        now: float,
+    ) -> PooledDevice:
+        """Pick the lane that will serve ``request`` (``devices`` is non-empty)."""
+
+
+class FirstFitPlacement(PlacementPolicy):
+    """Lowest-indexed eligible device — the single-device-compatible default.
+
+    With one lane this degenerates to the pre-pool fleet exactly; with
+    many it packs everything onto the first device that can plan the
+    request, leaving the rest idle (a baseline for the balancing
+    policies to beat).
+    """
+
+    name = "first_fit"
+    description = "lowest-indexed device able to serve the request"
+
+    def choose(self, request, devices, now):
+        return min(devices, key=lambda lane: lane.index)
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Fewest live requests; ties go to the lane furthest behind in time.
+
+    The classic join-the-shortest-queue heuristic: spreading arrivals
+    across lanes drains the pool in parallel and cuts p95 sojourn versus
+    any single device at the same arrival rate.
+    """
+
+    name = "least_loaded"
+    description = "device with the fewest live requests (ties: earliest clock)"
+
+    def choose(self, request, devices, now):
+        return min(
+            devices,
+            key=lambda lane: (lane.live_requests, lane.clock.now, lane.index),
+        )
+
+
+class KvBalancedPlacement(PlacementPolicy):
+    """Lowest planned-KV pressure relative to each lane's KV budget.
+
+    Heterogeneous pools have unequal budgets: a 24 GB lane should absorb
+    more KV-heavy requests than a 12 GB one before either starts swapping.
+    Balancing the *fraction* (planned claims / budget) rather than raw
+    bytes keeps both lanes equally far from their oversubscription cliff.
+    """
+
+    name = "kv_balanced"
+    description = "device with the lowest planned-KV fraction of its budget"
+
+    def choose(self, request, devices, now):
+        return min(
+            devices,
+            key=lambda lane: (lane.kv_load_fraction, lane.live_requests, lane.index),
+        )
+
+
+_PLACEMENTS: dict[str, Callable[[], PlacementPolicy]] = {
+    FirstFitPlacement.name: FirstFitPlacement,
+    LeastLoadedPlacement.name: LeastLoadedPlacement,
+    KvBalancedPlacement.name: KvBalancedPlacement,
+}
+
+
+def list_placements() -> list[str]:
+    """Registered placement policy names."""
+    return sorted(_PLACEMENTS)
+
+
+def placement_descriptions() -> dict[str, str]:
+    """Policy name → one-line description (for the CLI listing)."""
+    return {name: _PLACEMENTS[name].description for name in list_placements()}
+
+
+def build_placement(name: str, **kwargs) -> PlacementPolicy:
+    """Instantiate a placement policy by registry name."""
+    try:
+        factory = _PLACEMENTS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown placement {name!r}{did_you_mean(name, _PLACEMENTS)}; "
+            f"registered: {', '.join(list_placements())}"
+        ) from None
+    return factory(**kwargs)

@@ -43,6 +43,7 @@ from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.fleet import FleetRequest
+    from repro.core.pool import PlacementPolicy, PooledDevice
     from repro.core.server import TTSServer
 
 __all__ = [
@@ -69,7 +70,11 @@ class SessionHandle:
     request. ``last_stepped`` is the fleet's turn counter at this
     session's most recent round, ``start_s`` the fleet time service began
     (None until first picked). ``binding`` maps the session's private
-    clock onto the fleet clock.
+    clock onto the clock of ``device`` — the
+    :class:`~repro.core.pool.PooledDevice` lane the request was placed on
+    (None only for handles built outside a pool-driven fleet).
+    ``kv_swap_s`` accumulates the cross-session KV contention and
+    migration time charged to this session.
     """
 
     request_id: str
@@ -78,9 +83,11 @@ class SessionHandle:
     replica: int
     session: SolveSession
     binding: ClockBinding
+    device: "PooledDevice | None" = None
     start_s: float | None = None
     last_stepped: int = -1
     predicted_cost: tuple[int, int] | None = None
+    kv_swap_s: float = 0.0
 
     @property
     def runnable(self) -> bool:
@@ -136,6 +143,24 @@ class RequestScheduler(ABC):
 
     name: str = "abstract"
     description: str = ""
+
+    def choose_device(
+        self,
+        request: "FleetRequest",
+        devices: "Sequence[PooledDevice]",
+        placement: "PlacementPolicy",
+        now: float,
+    ) -> "PooledDevice":
+        """Placement hook: which pool device serves this new request.
+
+        ``devices`` holds only the lanes whose allocator can plan the
+        request's beam budget (the fleet filters eligibility first). The
+        default delegates to the fleet's placement policy, keeping
+        placement an independent axis; a scheduler that wants to co-decide
+        placement and ordering (e.g. racing replicas across devices)
+        overrides this.
+        """
+        return placement.choose(request, devices, now)
 
     def sessions_for(
         self, server: "TTSServer", request: "FleetRequest"
@@ -309,7 +334,10 @@ def build_scheduler(name: str, **kwargs) -> RequestScheduler:
     try:
         factory = _SCHEDULERS[name]
     except KeyError:
+        from repro.utils.suggest import did_you_mean
+
         raise ConfigError(
-            f"unknown scheduler {name!r}; registered: {', '.join(list_schedulers())}"
+            f"unknown scheduler {name!r}{did_you_mean(name, _SCHEDULERS)}; "
+            f"registered: {', '.join(list_schedulers())}"
         ) from None
     return factory(**kwargs)

@@ -124,6 +124,11 @@ class TTSServer:
         return self._kv_budget
 
     @property
+    def device(self):
+        """The :class:`~repro.hardware.device.DeviceSpec` this server runs on."""
+        return self._device
+
+    @property
     def gen_model(self) -> ModelSpec:
         return self._gen_model
 

@@ -297,6 +297,91 @@ class SolveSession:
         """Per-session step-plan memo (exposed for tests and debugging)."""
         return self._plan_cache
 
+    @property
+    def resident_kv_bytes(self) -> int:
+        """This session's device-resident KV footprint right now.
+
+        Zero before setup (``ADMITTED``). Under an offloading plan only
+        the active model's cache occupies the device (the inactive one
+        lives in host memory between :meth:`_swap_to` transfers), so the
+        footprint is the active cache alone; otherwise both caches count.
+        The per-device :class:`~repro.hardware.memory.KVLedger` uses this
+        to model cross-session contention.
+        """
+        if self._gen_cache is None or self._ver_cache is None:
+            return 0
+        gen_bytes = (
+            self._gen_cache.resident_tokens
+            * self._server.gen_model.kv_bytes_per_token
+        )
+        ver_bytes = (
+            self._ver_cache.resident_tokens
+            * self._server.ver_model.kv_bytes_per_token
+        )
+        if self._plan is not None and self._plan.offload:
+            return gen_bytes if self._active_model == "generator" else ver_bytes
+        return gen_bytes + ver_bytes
+
+    def charge_kv_swap(self, dt: float) -> None:
+        """Charge cross-session KV swap time against this session.
+
+        The fleet calls this when resuming the session requires restoring
+        its evicted KV from host memory, or when its growth evicts a
+        co-resident session's KV. The time lands on this session's clock
+        (it is part of serving this request) under the SWAP phase, exactly
+        like the intra-session offload transfers in :meth:`_swap_to`.
+        """
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        if dt == 0:
+            return
+        if not self._state.live:
+            raise SchedulingError(
+                f"cannot charge swap time to {self._session_id} in state "
+                f"{self._state.value}"
+            )
+        self._clock.advance(dt)
+        self._timer.add(Phase.SWAP, dt)
+        if self._trace is not None:
+            self._trace.record(
+                self._clock.now, "kv_contention_swap", -1, seconds=round(dt, 6)
+            )
+
+    def rebind_device(self, server: "TTSServer") -> None:
+        """Move this session onto another device's server (migration).
+
+        The destination must serve the same model pairing and dataset —
+        the KV caches carry over byte-for-byte (identical per-token sizes)
+        and only the roofline cost model changes, so the workers are
+        rebuilt against the new device while keeping their caches, clock,
+        timers and utilization tracker. The PCIe cost of physically moving
+        the KV is charged by :meth:`~repro.core.pool.DevicePool.migrate`,
+        not here.
+        """
+        if not self._state.live:
+            raise SchedulingError(
+                f"cannot migrate {self._session_id} in state {self._state.value}"
+            )
+        old = self._server
+        if (
+            server.gen_model.name != old.gen_model.name
+            or server.ver_model.name != old.ver_model.name
+        ):
+            raise SchedulingError(
+                f"cannot migrate {self._session_id} between servers with "
+                f"different model pairings"
+            )
+        self._server = server
+        if self._gen_worker is not None:
+            self._gen_worker = GeneratorWorker(
+                server.gen_model, server.roofline, self._gen_cache, self._clock,
+                self._timer, self._util,
+            )
+            self._ver_worker = VerifierWorker(
+                server.ver_model, server.roofline, self._ver_cache, self._clock,
+                self._timer, self._util,
+            )
+
     def notify_arrival(self) -> None:
         """Signal that another request is waiting *now*.
 

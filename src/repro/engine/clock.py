@@ -6,12 +6,16 @@ a bug and raises immediately.
 
 Sessions and fleets use *different* clocks: each
 :class:`~repro.core.session.SolveSession` owns a private clock measuring
-its own service time, while a :class:`~repro.core.fleet.TTSFleet` owns the
-shared wall clock requests queue against. :class:`ClockBinding` performs
-the handoff between the two — it anchors a session clock at the fleet time
-where the scheduler (re)started the session, so stepping the session maps
-its service-time progress back onto the fleet timeline exactly (anchor +
+its own service time, while every device lane of a
+:class:`~repro.core.pool.DevicePool` owns a shared wall clock the requests
+placed on it queue against (all lanes share the same time origin, so lane
+times are directly comparable). :class:`ClockBinding` performs the handoff
+between the two — it anchors a session clock at the lane time where the
+scheduler (re)started the session, so stepping the session maps its
+service-time progress back onto the lane timeline exactly (anchor +
 session time, one addition, no drift from re-accumulating round deltas).
+Re-binding the same session onto a *different* lane clock is how migration
+hands a session over between devices.
 """
 
 from __future__ import annotations
@@ -26,10 +30,11 @@ _REWIND_TOLERANCE = 1e-9
 class SimClock:
     """Monotonic simulated time in seconds."""
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, label: str | None = None) -> None:
         if start < 0:
             raise ValueError("start time must be non-negative")
         self._now = float(start)
+        self.label = label  # debug aid: which lane/session owns this timeline
 
     @property
     def now(self) -> float:
@@ -66,7 +71,8 @@ class SimClock:
         self._now = float(to)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"SimClock(now={self._now:.6f})"
+        tag = f", label={self.label!r}" if self.label else ""
+        return f"SimClock(now={self._now:.6f}{tag})"
 
 
 class ClockBinding:

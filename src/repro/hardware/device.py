@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ModelLookupError
+from repro.utils.suggest import did_you_mean
 
 __all__ = ["DeviceSpec", "get_device", "list_devices", "register_device"]
 
@@ -85,7 +86,10 @@ def get_device(name: str) -> DeviceSpec:
         return _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
-        raise ModelLookupError(f"unknown device {name!r}; known devices: {known}") from None
+        raise ModelLookupError(
+            f"unknown device {name!r}{did_you_mean(name, _REGISTRY)}; "
+            f"known devices: {known}"
+        ) from None
 
 
 def list_devices() -> list[str]:

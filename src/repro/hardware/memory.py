@@ -1,9 +1,22 @@
-"""GPU memory ledger.
+"""GPU memory ledgers.
 
-Tracks how a device's usable VRAM is split between model weights, per-model
-KV cache partitions, and the reserved slice (Fig. 9 of the paper). The
-asymmetric allocator (Sec. 4.3) decides the KV split; this ledger enforces
-that the decision is feasible and answers "how much KV memory is left?".
+:class:`MemoryLedger` tracks how a device's usable VRAM is split between
+model weights, per-model KV cache partitions, and the reserved slice
+(Fig. 9 of the paper). The asymmetric allocator (Sec. 4.3) decides the KV
+split; this ledger enforces that the decision is feasible and answers "how
+much KV memory is left?".
+
+:class:`KVLedger` tracks the *runtime* KV footprints of the sessions
+co-resident on one device of a :class:`~repro.core.pool.DevicePool`. A
+single session's plan is guaranteed to fit the device's KV budget by
+admission control, but interleaving schedulers pause sessions with their
+KV still resident — two KV-heavy sessions can together oversubscribe the
+device. The ledger models that contention with whole-session granularity:
+when the active session's growth (or a paused session's restore) does not
+fit, the least-recently-run co-resident sessions are swapped out to host
+memory, and the fleet charges the PCIe write/read time on the device
+clock. Eviction is bookkeeping here; *time* is charged by the caller via
+:class:`~repro.hardware.offload.OffloadLink`.
 """
 
 from __future__ import annotations
@@ -13,7 +26,7 @@ from dataclasses import dataclass, field
 from repro.errors import CapacityError
 from repro.hardware.device import DeviceSpec
 
-__all__ = ["MemoryLedger", "MemoryReservation"]
+__all__ = ["KVLedger", "MemoryLedger", "MemoryReservation"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,3 +103,157 @@ class MemoryLedger:
         result = {f"{o}/{k}": r.num_bytes for (o, k), r in sorted(self._reservations.items())}
         result["free"] = self.free_bytes
         return result
+
+
+class KVLedger:
+    """Runtime accounting of co-resident sessions' KV on one device.
+
+    Each owner (a session id) has a device-resident byte count and a
+    host-swapped byte count. The invariants the fleet relies on:
+
+    * an owner's KV is fully device-resident while it runs (the fleet
+      calls :meth:`restore` before resuming a paused owner);
+    * when total residency would exceed capacity, *other* owners are
+      evicted in least-recently-run order (whole-owner granularity — the
+      simulation does not split one session's KV across device and host
+      mid-run, matching the offload strategy's all-or-nothing transfers);
+    * eviction never raises: a lone owner whose plan legitimately fills
+      the budget simply occupies it. Oversubscription therefore costs
+      swap *time* (charged by the caller from the returned byte counts),
+      never correctness.
+
+    All byte movements are tallied (``swapped_out_bytes`` /
+    ``swapped_in_bytes`` / ``peak_resident_bytes``) for the per-device
+    fleet metrics rollup.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self._capacity = int(capacity_bytes)
+        self._resident: dict[str, int] = {}
+        self._swapped: dict[str, int] = {}
+        self._stamp: dict[str, int] = {}
+        self._tick = 0
+        self.swapped_out_bytes = 0
+        self.swapped_in_bytes = 0
+        self.peak_resident_bytes = 0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self._capacity - self.resident_bytes
+
+    @property
+    def owners(self) -> list[str]:
+        return sorted(self._resident)
+
+    def resident_of(self, owner: str) -> int:
+        return self._resident.get(owner, 0)
+
+    def swapped_of(self, owner: str) -> int:
+        return self._swapped.get(owner, 0)
+
+    # -- mutation --------------------------------------------------------
+
+    def _touch(self, owner: str) -> None:
+        self._tick += 1
+        self._stamp[owner] = self._tick
+        self._resident.setdefault(owner, 0)
+        self._swapped.setdefault(owner, 0)
+
+    def _evict_for(self, need: int, keep: str) -> list[tuple[str, int]]:
+        """Swap out other owners (LRU first) until ``need`` bytes are free.
+
+        Returns ``(owner, bytes)`` per eviction so the caller can charge
+        the PCIe writes. Stops when the deficit is covered or no victims
+        remain (the latter only when ``keep`` alone fills the budget).
+        """
+        evicted: list[tuple[str, int]] = []
+        if need <= 0:
+            return evicted
+        victims = sorted(
+            (o for o, b in self._resident.items() if o != keep and b > 0),
+            key=lambda o: (self._stamp.get(o, 0), o),
+        )
+        freed = 0
+        for victim in victims:
+            if freed >= need:
+                break
+            moved = self._resident[victim]
+            self._resident[victim] = 0
+            self._swapped[victim] += moved
+            self.swapped_out_bytes += moved
+            freed += moved
+            evicted.append((victim, moved))
+        return evicted
+
+    def charge_growth(self, owner: str, total_bytes: int) -> list[tuple[str, int]]:
+        """Record ``owner``'s post-round KV footprint as device-resident.
+
+        Called after every round the owner runs (its KV is fully resident
+        while it executes). Returns the evictions needed to make room —
+        the *running* session pays for displacing its neighbours.
+        """
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        self._touch(owner)
+        self._resident[owner] = total_bytes
+        self._swapped[owner] = 0
+        evicted = self._evict_for(self.resident_bytes - self._capacity, keep=owner)
+        self.peak_resident_bytes = max(self.peak_resident_bytes, self.resident_bytes)
+        return evicted
+
+    def restore(self, owner: str) -> tuple[int, list[tuple[str, int]]]:
+        """Bring ``owner``'s swapped-out KV back before it resumes.
+
+        Returns ``(restored_bytes, evictions)``; both are zero/empty when
+        the owner was never evicted, so run-to-completion schedules pass
+        through without any accounting (or cost).
+        """
+        back = self._swapped.get(owner, 0)
+        if back == 0:
+            return 0, []
+        self._touch(owner)
+        evicted = self._evict_for(back - self.free_bytes, keep=owner)
+        self._swapped[owner] = 0
+        self._resident[owner] += back
+        self.swapped_in_bytes += back
+        self.peak_resident_bytes = max(self.peak_resident_bytes, self.resident_bytes)
+        return back, evicted
+
+    def admit(self, owner: str, num_bytes: int) -> list[tuple[str, int]]:
+        """Place ``num_bytes`` of migrated-in KV; evicts others to fit.
+
+        Raises :class:`~repro.errors.CapacityError` when the incoming
+        footprint exceeds the whole budget (the migration must be refused
+        before any cost is charged).
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes > self._capacity:
+            raise CapacityError(
+                f"cannot admit {num_bytes} B of KV for {owner!r}: device KV "
+                f"budget is {self._capacity} B"
+            )
+        self._touch(owner)
+        self._resident[owner] = num_bytes
+        self._swapped[owner] = 0
+        evicted = self._evict_for(self.resident_bytes - self._capacity, keep=owner)
+        self.peak_resident_bytes = max(self.peak_resident_bytes, self.resident_bytes)
+        return evicted
+
+    def release(self, owner: str) -> int:
+        """Drop an owner entirely (finished or migrated away); returns freed device bytes."""
+        self._swapped.pop(owner, None)
+        self._stamp.pop(owner, None)
+        return self._resident.pop(owner, 0)

@@ -2,12 +2,18 @@
 
 Single-request metrics (goodput, latency) describe how fast one solve is;
 a serving system is judged by how it behaves under *load*. This module
-aggregates a fleet run — many queued solve requests multiplexed over one
-device — into the quantities a serving evaluation reports: completed
-request throughput, the p50/p95 queueing delay distribution, the device's
-busy fraction over the run's makespan, and (for redundancy-based
-schedulers such as ``first_finish``) how much device time went into
-sessions whose results were cancelled or discarded.
+aggregates a fleet run — many queued solve requests multiplexed over a
+:class:`~repro.core.pool.DevicePool` — into the quantities a serving
+evaluation reports: completed request throughput, the p50/p95 queueing
+delay and sojourn distributions, the pool's busy fraction over the run's
+makespan, cross-session KV contention (swap) time, and (for
+redundancy-based schedulers such as ``first_finish``) how much device time
+went into sessions whose results were cancelled or discarded.
+
+:class:`DeviceUtilization` rolls the same run up per device lane —
+requests served, busy fraction, migrations in/out, KV swap traffic — so a
+heterogeneous pool's imbalance is visible at a glance
+(:func:`device_table`).
 
 :func:`compare_policies` renders several fleet runs of the same workload
 under different :mod:`~repro.core.scheduler` policies side by side.
@@ -22,16 +28,26 @@ from repro.metrics.latency import LatencyBreakdown
 from repro.utils.stats import percentile
 from repro.utils.tables import render_table
 
-__all__ = ["FleetRequestRecord", "FleetMetrics", "compare_policies"]
+__all__ = [
+    "FleetRequestRecord",
+    "FleetMetrics",
+    "DeviceUtilization",
+    "device_table",
+    "compare_policies",
+]
 
 
 @dataclass(frozen=True, slots=True)
 class FleetRequestRecord:
     """One request's life cycle on the fleet's shared clock.
 
-    ``arrival_s``/``start_s``/``finish_s`` are times on the fleet's
-    :class:`~repro.engine.clock.SimClock`. Rejected requests (admission
-    control) carry ``accepted=False`` and a ``reject_reason``; their
+    ``arrival_s``/``start_s``/``finish_s`` are times on the serving
+    device's :class:`~repro.engine.clock.SimClock` lane (all lanes of a
+    pool share one time origin). ``device_id`` names that lane (None for
+    rejected requests, which never reach a device). ``kv_swap_s`` is the
+    cross-session KV contention and migration time charged to this
+    request's sessions. Rejected requests (admission control) carry
+    ``accepted=False`` and a ``reject_reason``; their
     ``start_s``/``finish_s`` equal the arrival time and they contribute to
     no latency statistic.
     """
@@ -46,6 +62,8 @@ class FleetRequestRecord:
     replicas: int = 1
     cancelled_work_s: float = 0.0
     device_time_s: float | None = None
+    device_id: str | None = None
+    kv_swap_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -60,6 +78,8 @@ class FleetRequestRecord:
             raise ValueError("cancelled_work_s must be non-negative")
         if self.device_time_s is not None and self.device_time_s < 0:
             raise ValueError("device_time_s must be non-negative")
+        if self.kv_swap_s < 0:
+            raise ValueError("kv_swap_s must be non-negative")
 
     @property
     def queue_delay_s(self) -> float:
@@ -107,12 +127,27 @@ class FleetMetrics:
     busy_fraction: float
     sessions: int = 0
     cancelled_work_s: float = 0.0
+    latency_p95_s: float = 0.0
+    kv_swap_s: float = 0.0
+    devices: int = 1
 
     @classmethod
-    def aggregate(cls, records: Sequence[FleetRequestRecord]) -> "FleetMetrics":
-        """Pool per-request records into the fleet-level quantities."""
+    def aggregate(
+        cls,
+        records: Sequence[FleetRequestRecord],
+        pool_size: int | None = None,
+    ) -> "FleetMetrics":
+        """Pool per-request records into the fleet-level quantities.
+
+        ``pool_size`` is the number of device lanes the run had available;
+        when omitted it is inferred from the records' device ids — which
+        undercounts lanes a placement policy left idle, so callers that
+        know the pool (``FleetReport.metrics``) pass it explicitly.
+        """
         if not records:
             raise ValueError("cannot aggregate an empty fleet run")
+        if pool_size is not None and pool_size < 1:
+            raise ValueError("pool_size must be >= 1 when set")
         accepted = [r for r in records if r.accepted]
         rejected = len(records) - len(accepted)
         makespan = max((r.finish_s for r in accepted), default=0.0)
@@ -124,6 +159,14 @@ class FleetMetrics:
         # Sojourn time: arrival → finish, what an interactive user feels.
         sojourns = [r.finish_s - r.arrival_s for r in accepted]
         busy = sum(services)
+        # Busy fraction is normalized by pool size: N lanes offer N
+        # device-seconds per wall second, so the ratio stays physical
+        # (<= 1) on multi-device fleets, comparable across placement
+        # policies (idle lanes still count), and unchanged on
+        # single-device runs.
+        devices = pool_size or len(
+            {r.device_id for r in accepted if r.device_id}
+        ) or 1
         return cls(
             requests=len(records),
             completed=len(accepted),
@@ -135,9 +178,12 @@ class FleetMetrics:
             queue_delay_p95_s=percentile(delays, 95.0) if delays else 0.0,
             service_mean_s=(sum(services) / len(services)) if services else 0.0,
             latency_mean_s=(sum(sojourns) / len(sojourns)) if sojourns else 0.0,
-            busy_fraction=(busy / makespan) if makespan > 0 else 0.0,
+            busy_fraction=(busy / (makespan * devices)) if makespan > 0 else 0.0,
             sessions=sum(r.replicas for r in accepted),
             cancelled_work_s=sum(r.cancelled_work_s for r in accepted),
+            latency_p95_s=percentile(sojourns, 95.0) if sojourns else 0.0,
+            kv_swap_s=sum(r.kv_swap_s for r in accepted),
+            devices=devices,
         )
 
     def summary_rows(self) -> list[list[object]]:
@@ -152,13 +198,98 @@ class FleetMetrics:
             ["queue delay p95 s", round(self.queue_delay_p95_s, 2)],
             ["service mean s", round(self.service_mean_s, 2)],
             ["latency mean s", round(self.latency_mean_s, 2)],
+            ["latency p95 s", round(self.latency_p95_s, 2)],
             ["busy fraction", round(self.busy_fraction, 3)],
+            ["devices", self.devices],
             ["sessions", self.sessions],
             ["cancelled work s", round(self.cancelled_work_s, 2)],
+            ["kv swap s", round(self.kv_swap_s, 2)],
         ]
 
     def table(self, title: str | None = None) -> str:
         return render_table(["metric", "value"], self.summary_rows(), title=title)
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceUtilization:
+    """One pool lane's share of a fleet run.
+
+    Built by the fleet at drain time from its lane counters plus the
+    per-request records; ``busy_fraction`` is this lane's device-seconds
+    over the whole run's makespan, so an idle lane in a badly placed
+    heterogeneous pool shows up as a near-zero row.
+    """
+
+    device_id: str
+    device: str
+    requests: int
+    busy_s: float
+    busy_fraction: float
+    migrations_in: int = 0
+    migrations_out: int = 0
+    kv_swap_s: float = 0.0
+    kv_swapped_out_bytes: int = 0
+    kv_swapped_in_bytes: int = 0
+
+    @classmethod
+    def rollup(
+        cls,
+        records: Sequence[FleetRequestRecord],
+        lanes: Sequence,
+    ) -> tuple["DeviceUtilization", ...]:
+        """Per-lane utilization from request records + pool lane counters.
+
+        ``lanes`` are :class:`~repro.core.pool.PooledDevice` objects (typed
+        loosely to keep metrics free of core imports).
+        """
+        makespan = max((r.finish_s for r in records if r.accepted), default=0.0)
+        rows = []
+        for lane in lanes:
+            mine = [
+                r for r in records if r.accepted and r.device_id == lane.device_id
+            ]
+            busy = sum(r.device_seconds for r in mine)
+            rows.append(
+                cls(
+                    device_id=lane.device_id,
+                    device=lane.spec.name,
+                    requests=len(mine),
+                    busy_s=busy,
+                    busy_fraction=(busy / makespan) if makespan > 0 else 0.0,
+                    migrations_in=lane.migrations_in,
+                    migrations_out=lane.migrations_out,
+                    kv_swap_s=lane.kv_swap_s,
+                    kv_swapped_out_bytes=lane.ledger.swapped_out_bytes,
+                    kv_swapped_in_bytes=lane.ledger.swapped_in_bytes,
+                )
+            )
+        return tuple(rows)
+
+
+def device_table(
+    devices: Sequence[DeviceUtilization], title: str | None = None
+) -> str:
+    """Render the per-device rollup of one fleet run."""
+    if not devices:
+        raise ValueError("need at least one device to tabulate")
+    rows = [
+        [
+            d.device_id,
+            d.requests,
+            round(d.busy_s, 2),
+            round(d.busy_fraction, 3),
+            d.migrations_in,
+            d.migrations_out,
+            round(d.kv_swap_s, 2),
+        ]
+        for d in devices
+    ]
+    return render_table(
+        ["device", "requests", "busy s", "busy frac",
+         "migr in", "migr out", "kv swap s"],
+        rows,
+        title=title,
+    )
 
 
 def compare_policies(
@@ -181,14 +312,17 @@ def compare_policies(
             round(m.queue_delay_mean_s, 2),
             round(m.queue_delay_p95_s, 2),
             round(m.latency_mean_s, 2),
+            round(m.latency_p95_s, 2),
             round(m.makespan_s, 2),
             round(m.cancelled_work_s, 2),
+            round(m.kv_swap_s, 2),
         ]
         for policy, m in metrics_by_policy.items()
     ]
     return render_table(
         ["scheduler", "done", "rej", "queue mean s", "queue p95 s",
-         "latency mean s", "makespan s", "cancelled s"],
+         "latency mean s", "p95 sojourn s", "makespan s", "cancelled s",
+         "kv swap s"],
         rows,
         title=title,
     )

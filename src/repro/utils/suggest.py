@@ -1,0 +1,33 @@
+"""Nearest-known-key suggestions for registry and config lookup errors.
+
+A typo'd device name or config key should not strand the user with only
+the full list of valid options: every registry lookup in the library runs
+the unknown key through :func:`closest` and appends a
+"did you mean 'rtx4090'?" hint when a close match exists. The matching is
+:mod:`difflib`'s ratio-based cutoff, so unrelated strings produce no
+suggestion rather than a misleading one.
+"""
+
+from __future__ import annotations
+
+from difflib import get_close_matches
+from typing import Iterable
+
+__all__ = ["closest", "did_you_mean"]
+
+
+def closest(name: str, candidates: Iterable[str]) -> str | None:
+    """The candidate most similar to ``name``, or None if nothing is close."""
+    matches = get_close_matches(name, sorted(candidates), n=1, cutoff=0.6)
+    return matches[0] if matches else None
+
+
+def did_you_mean(name: str, candidates: Iterable[str]) -> str:
+    """A ``" — did you mean 'x'?"`` suffix, or ``""`` when nothing is close.
+
+    Designed to be appended verbatim to an error message::
+
+        raise ConfigError(f"unknown key {key!r}{did_you_mean(key, known)}")
+    """
+    match = closest(name, candidates)
+    return f" — did you mean {match!r}?" if match else ""

@@ -54,6 +54,16 @@ class TestServerConfig:
             fasttts_config().with_overrides(speculatoin=False)
         assert "speculatoin" in str(excinfo.value)
 
+    def test_with_overrides_suggests_nearest_key(self):
+        with pytest.raises(ConfigError) as excinfo:
+            fasttts_config().with_overrides(speculatoin=False)
+        assert "did you mean 'speculation'?" in str(excinfo.value)
+
+    def test_with_overrides_no_suggestion_for_nonsense(self):
+        with pytest.raises(ConfigError) as excinfo:
+            fasttts_config().with_overrides(zzqx=1)
+        assert "did you mean" not in str(excinfo.value)
+
     def test_with_overrides_reports_every_unknown_key(self):
         with pytest.raises(ConfigError) as excinfo:
             fasttts_config().with_overrides(bogus=1, also_bogus=2)

@@ -1,0 +1,378 @@
+"""Tests for DevicePool: placement, migration, and KV oversubscription.
+
+The redesign's contract: a single-device pool with the fifo scheduler is a
+strict superset of the old fleet (byte-identity is pinned by
+``tests/goldens`` via test_scheduler.py); a heterogeneous pool beats
+either device alone under load; and co-resident KV-heavy sessions now pay
+swap time (or are refused admission) instead of contending for free.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import baseline_config, fasttts_config
+from repro.core.fleet import TTSFleet, generate_arrivals
+from repro.core.pool import (
+    DevicePool,
+    build_placement,
+    list_placements,
+    placement_descriptions,
+)
+from repro.core.scheduler import SessionHandle
+from repro.engine.clock import ClockBinding
+from repro.errors import CapacityError, ConfigError, SchedulingError
+from repro.search.registry import build_algorithm
+from repro.workloads.datasets import build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("amc23", seed=0, size=8)
+
+
+def drain(dataset, devices, rate, size=None, n=4, mf=0.9, scheduler="fifo",
+          placement="least_loaded", **kwargs):
+    size = len(dataset) if size is None else size
+    config = fasttts_config(
+        memory_fraction=mf, seed=0, device_name=devices[0]
+    )
+    fleet = TTSFleet(
+        config, dataset, scheduler=scheduler,
+        devices=list(devices), placement=placement, **kwargs
+    )
+    problems = list(dataset)[:size]
+    arrivals = generate_arrivals(size, rate, seed=0)
+    fleet.submit_stream(problems, build_algorithm("beam_search", n), arrivals)
+    return fleet.drain()
+
+
+def make_handle(lane, problem, n=4):
+    session = lane.server.session(problem, build_algorithm("beam_search", n))
+    handle = SessionHandle(
+        request_id="req-0000", arrival_s=0.0, seq=0, replica=0,
+        session=session, binding=ClockBinding(session.clock), device=lane,
+    )
+    handle.binding.rebind(lane.clock)
+    return handle
+
+
+class TestFleetConstruction:
+    def test_pool_and_config_are_exclusive(self, dataset):
+        config = baseline_config(memory_fraction=0.4)
+        pool = DevicePool.build(config, dataset)
+        with pytest.raises(ConfigError):
+            TTSFleet(config, dataset, pool=pool)
+        with pytest.raises(ConfigError):
+            TTSFleet(pool=pool, devices=["rtx4090"])
+        with pytest.raises(ConfigError):
+            TTSFleet()
+
+    def test_compat_properties_point_at_first_lane(self, dataset):
+        config = baseline_config(memory_fraction=0.9)
+        pool = DevicePool.build(config, dataset, ["rtx4090", "rtx4070ti"])
+        fleet = TTSFleet(pool=pool)
+        assert fleet.server is pool[0].server
+        assert fleet.clock is pool[0].clock
+        assert fleet.placement.name == "first_fit"
+
+    def test_single_device_pool_fifo_reproduces_golden(self):
+        """Explicit pool= construction is the same strict superset."""
+        golden = json.loads(
+            (Path(__file__).parent.parent / "goldens"
+             / "fleet_fifo_goldens.json").read_text()
+        )["open-busy"]
+        dataset = build_dataset("amc23", seed=0, size=5)
+        pool = DevicePool.build(
+            baseline_config(memory_fraction=0.4, seed=0), dataset
+        )
+        fleet = TTSFleet(pool=pool, scheduler="fifo")
+        arrivals = generate_arrivals(5, 0.05, seed=0)
+        fleet.submit_stream(
+            list(dataset), build_algorithm("beam_search", 4), arrivals
+        )
+        report = fleet.drain()
+        produced = [
+            {
+                "request_id": r.request_id,
+                "arrival_s": r.arrival_s,
+                "start_s": r.start_s,
+                "finish_s": r.finish_s,
+                "accepted": r.accepted,
+                "reject_reason": r.reject_reason,
+                "latency": r.latency.to_json_dict() if r.latency else None,
+            }
+            for r in report.records
+        ]
+        assert produced == golden["records"]
+        assert {
+            rid: res.to_json_dict() for rid, res in sorted(report.results.items())
+        } == golden["results"]
+
+
+class TestDevicePool:
+    def test_build_single_device_defaults_to_config_device(self, dataset):
+        pool = DevicePool.build(baseline_config(memory_fraction=0.4), dataset)
+        assert len(pool) == 1
+        assert pool[0].device_id == "dev0:rtx4090"
+        assert pool[0].server.device.name == "rtx4090"
+
+    def test_build_heterogeneous(self, dataset):
+        pool = DevicePool.build(
+            fasttts_config(memory_fraction=0.9), dataset,
+            ["rtx4090", "rtx4070ti"],
+        )
+        assert [lane.spec.name for lane in pool] == ["rtx4090", "rtx4070ti"]
+        # per-device KV ledgers track each lane's own budget
+        assert pool[0].ledger.capacity_bytes == pool[0].server.kv_budget_bytes
+        assert pool[0].ledger.capacity_bytes > pool[1].ledger.capacity_bytes
+
+    def test_empty_pool_rejected(self, dataset):
+        with pytest.raises(ConfigError):
+            DevicePool([])
+        with pytest.raises(ConfigError):
+            DevicePool.build(baseline_config(memory_fraction=0.4), dataset, [])
+
+    def test_mismatched_lanes_rejected(self, dataset):
+        a = DevicePool.build(
+            baseline_config(memory_fraction=0.4, seed=0), dataset
+        )[0]
+        b = DevicePool.build(
+            baseline_config(memory_fraction=0.4, seed=1), dataset
+        )[0]
+        with pytest.raises(ConfigError):
+            DevicePool([a, b])
+
+    def test_device_by_id_suggests_near_miss(self, dataset):
+        pool = DevicePool.build(baseline_config(memory_fraction=0.4), dataset)
+        with pytest.raises(ConfigError, match="did you mean 'dev0:rtx4090'"):
+            pool.device_by_id("dev0:rtx409")
+
+
+class TestPlacementRegistry:
+    def test_policies_registered(self):
+        assert list_placements() == ["first_fit", "kv_balanced", "least_loaded"]
+
+    def test_descriptions_cover_every_policy(self):
+        assert set(placement_descriptions()) == set(list_placements())
+        assert all(placement_descriptions().values())
+
+    def test_unknown_policy_suggests(self):
+        with pytest.raises(ConfigError, match="did you mean 'least_loaded'"):
+            build_placement("least_loadd")
+
+
+class TestPlacementPolicies:
+    def test_first_fit_packs_device_zero(self, dataset):
+        report = drain(dataset, ["rtx4090", "rtx4070ti"], rate=0.05,
+                       placement="first_fit")
+        assert all(r.device_id == "dev0:rtx4090" for r in report.records)
+        idle = next(d for d in report.devices if d.device_id == "dev1:rtx4070ti")
+        assert idle.requests == 0 and idle.busy_s == 0.0
+
+    def test_least_loaded_spreads_requests(self, dataset):
+        report = drain(dataset, ["rtx4090", "rtx4070ti"], rate=0.1,
+                       placement="least_loaded")
+        used = {r.device_id for r in report.records}
+        assert used == {"dev0:rtx4090", "dev1:rtx4070ti"}
+        assert sum(d.requests for d in report.devices) == len(report.records)
+
+    def test_kv_balanced_spreads_requests(self, dataset):
+        report = drain(dataset, ["rtx4090", "rtx4070ti"], rate=0.1,
+                       placement="kv_balanced")
+        assert {r.device_id for r in report.records} == {
+            "dev0:rtx4090", "dev1:rtx4070ti"
+        }
+
+    def test_deterministic(self, dataset):
+        a = drain(dataset, ["rtx4090", "rtx4070ti"], rate=0.1)
+        b = drain(dataset, ["rtx4090", "rtx4070ti"], rate=0.1)
+        assert a.records == b.records
+
+
+class TestHeterogeneousPoolBeatsSingles:
+    """Acceptance: the 2-device pool wins p95 sojourn at the same rate."""
+
+    @pytest.mark.parametrize("placement", ["least_loaded", "kv_balanced"])
+    def test_pool_p95_sojourn_below_either_device_alone(self, dataset, placement):
+        rate = 0.1
+        alone_4090 = drain(dataset, ["rtx4090"], rate).metrics
+        alone_4070 = drain(dataset, ["rtx4070ti"], rate).metrics
+        pool = drain(dataset, ["rtx4090", "rtx4070ti"], rate,
+                     placement=placement).metrics
+        assert pool.devices == 2
+        assert pool.latency_p95_s < alone_4090.latency_p95_s
+        assert pool.latency_p95_s < alone_4070.latency_p95_s
+
+    def test_per_device_rollup_accounts_every_request(self, dataset):
+        report = drain(dataset, ["rtx4090", "rtx4070ti"], rate=0.1)
+        assert len(report.devices) == 2
+        assert sum(d.requests for d in report.devices) == report.metrics.completed
+        for d in report.devices:
+            assert 0.0 <= d.busy_fraction <= 1.0
+        assert "busy frac" in report.device_table()
+        # pool-level busy fraction is normalized by lane count
+        assert 0.0 < report.metrics.busy_fraction <= 1.0
+
+
+class TestKvOversubscription:
+    """Acceptance: concurrent KV-heavy sessions are no longer free."""
+
+    def fleet(self, scheduler, **kwargs):
+        # 0.3 of a 4090 leaves ~0.95 GB of KV; one n=16 beam_search on
+        # amc23 peaks at ~0.89 GB, so two co-resident sessions thrash.
+        dataset = build_dataset("amc23", seed=0, size=2)
+        config = fasttts_config(memory_fraction=0.3, seed=0)
+        fleet = TTSFleet(config, dataset, scheduler=scheduler, **kwargs)
+        fleet.submit_stream(
+            list(dataset), build_algorithm("beam_search", 16), (0.0, 1.0)
+        )
+        return fleet.drain()
+
+    def test_interleaved_sessions_pay_swap_time(self):
+        fifo = self.fleet("fifo")
+        rr = self.fleet("round_robin")
+        # run-to-completion never co-resides KV: no contention charge
+        assert fifo.metrics.kv_swap_s == 0.0
+        # interleaving oversubscribes the ledger: every switch restores
+        # evicted KV and evicts the neighbour — charged on the clock
+        assert rr.metrics.kv_swap_s > 0.0
+        assert all(r.kv_swap_s > 0.0 for r in rr.records)
+        # the charged time is real simulated time: total device work grows
+        assert rr.metrics.makespan_s > fifo.metrics.makespan_s
+        # and lands in the requests' latency breakdown as swap
+        for result in rr.results.values():
+            assert result.latency.swap > 0.0
+        # the device still cannot be more than fully busy
+        assert rr.metrics.busy_fraction <= 1.0 + 1e-9
+
+    def test_light_sessions_still_free(self):
+        dataset = build_dataset("amc23", seed=0, size=2)
+        config = fasttts_config(memory_fraction=0.4, seed=0)
+        fleet = TTSFleet(config, dataset, scheduler="round_robin")
+        fleet.submit_stream(
+            list(dataset), build_algorithm("beam_search", 4), (0.0, 1.0)
+        )
+        report = fleet.drain()
+        # both sessions fit the ledger together: no contention, no charge
+        assert report.metrics.kv_swap_s == 0.0
+
+    def test_deny_mode_refuses_oversubscription(self):
+        report = self.fleet("round_robin", oversubscription="deny")
+        accepted = [r for r in report.records if r.accepted]
+        rejected = [r for r in report.records if not r.accepted]
+        assert len(accepted) == 1 and len(rejected) == 1
+        assert "oversubscribe" in rejected[0].reject_reason
+        assert report.metrics.kv_swap_s == 0.0
+
+    def test_bad_oversubscription_mode_rejected(self):
+        dataset = build_dataset("amc23", seed=0, size=1)
+        with pytest.raises(ConfigError):
+            TTSFleet(
+                baseline_config(memory_fraction=0.4), dataset,
+                oversubscription="ignore",
+            )
+
+
+class TestMigration:
+    def pool(self):
+        dataset = build_dataset("amc23", seed=0, size=1)
+        pool = DevicePool.build(
+            fasttts_config(memory_fraction=0.9, seed=0), dataset,
+            ["rtx4090", "rtx4070ti"],
+        )
+        return pool, list(dataset)[0]
+
+    def test_migrate_charges_pcie_and_hands_over(self):
+        pool, problem = self.pool()
+        src, dst = pool[0], pool[1]
+        handle = make_handle(src, problem)
+        session = handle.session
+        for _ in range(5):
+            session.step()
+        handle.binding.sync(src.clock)
+        src.ledger.charge_growth(session.session_id, session.resident_kv_bytes)
+        moved = session.resident_kv_bytes
+        assert moved > 0
+        before = session.clock.now
+
+        charged = pool.migrate(handle, dst)
+
+        expected = src.link.transfer_time(moved) + dst.link.transfer_time(moved)
+        assert charged == pytest.approx(expected)
+        assert session.clock.now == pytest.approx(before + charged)
+        # ledgers handed the footprint over
+        assert src.ledger.resident_of(session.session_id) == 0
+        assert dst.ledger.resident_of(session.session_id) == moved
+        # destination cannot resume the session before the data lands
+        assert dst.clock.now >= src.clock.now
+        assert src.migrations_out == 1 and dst.migrations_in == 1
+        assert handle.device is dst
+        assert session.server is dst.server
+
+    def test_migrated_session_finishes_on_destination_roofline(self):
+        pool, problem = self.pool()
+        handle = make_handle(pool[0], problem)
+        for _ in range(5):
+            handle.session.step()
+        handle.binding.sync(pool[0].clock)
+        pool.migrate(handle, pool[1])
+        while handle.session.state.live:
+            handle.session.step()
+        migrated = handle.session.outcome.result
+
+        # same problem solved wholly on the slower device: identical
+        # search results (keyed draws), different timing
+        solo = pool[1].server.solve(problem, build_algorithm("beam_search", 4))
+        assert [b.answer for b in migrated.beams] == [b.answer for b in solo.beams]
+        assert migrated.latency.total != solo.latency.total
+
+    def test_migrate_unstarted_session_is_free(self):
+        pool, problem = self.pool()
+        handle = make_handle(pool[0], problem)
+        charged = pool.migrate(handle, pool[1])
+        assert charged == 0.0
+        assert pool[1].clock.now == 0.0
+        assert handle.device is pool[1]
+        # still solvable end to end on the destination
+        while handle.session.state.live:
+            handle.session.step()
+        assert handle.session.outcome.result.beams
+
+    def test_migrate_same_device_is_noop(self):
+        pool, problem = self.pool()
+        handle = make_handle(pool[0], problem)
+        assert pool.migrate(handle, pool[0]) == 0.0
+        assert pool[0].migrations_out == 0
+
+    def test_migrate_dead_session_rejected(self):
+        pool, problem = self.pool()
+        handle = make_handle(pool[0], problem)
+        handle.session.cancel()
+        with pytest.raises(SchedulingError):
+            pool.migrate(handle, pool[1])
+
+    def test_migrate_refused_when_kv_cannot_fit(self):
+        dataset = build_dataset("amc23", seed=0, size=1)
+        problem = list(dataset)[0]
+        # dev1 at 0.75 memory fraction: weights fit but its KV budget is
+        # smaller than a 24 GB lane's resident n=16 session footprint...
+        config = fasttts_config(memory_fraction=0.9, seed=0)
+        pool = DevicePool.build(config, dataset, ["rtx4090", "rtx3070ti"])
+        handle = make_handle(pool[0], problem, n=16)
+        session = handle.session
+        while (
+            session.state.live
+            and session.resident_kv_bytes <= pool[1].ledger.capacity_bytes
+        ):
+            session.step()
+        if not session.state.live:
+            pytest.skip("session never outgrew the small lane's budget")
+        handle.binding.sync(pool[0].clock)
+        dst_clock_before = pool[1].clock.now
+        with pytest.raises(CapacityError):
+            pool.migrate(handle, pool[1])
+        # a refused migration must not have charged anything
+        assert pool[1].clock.now == dst_clock_before
+        assert handle.device is pool[0]

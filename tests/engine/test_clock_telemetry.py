@@ -72,6 +72,60 @@ class TestClockBinding:
         session.advance(1.0)
         assert binding.sync(fleet) == 8.0
 
+    def test_rebind_onto_second_clock_after_migration(self):
+        """Migration hands one session clock across two lane timelines."""
+        lane_a, lane_b, session = SimClock(), SimClock(), SimClock()
+        binding = ClockBinding(session)
+        binding.rebind(lane_a)
+        session.advance(3.0)
+        binding.sync(lane_a)
+        # destination lane had its own (later) history
+        lane_b.advance(4.5)
+        binding.rebind(lane_b)
+        assert binding.anchor == 1.5  # lane_b 4.5 minus 3.0 already served
+        session.advance(2.0)
+        assert binding.sync(lane_b) == 6.5
+        # the abandoned source lane is untouched by post-migration rounds
+        assert lane_a.now == 3.0
+
+    def test_anchor_handoff_roundtrip_has_no_drift(self):
+        """Alternating across two shared clocks lands on exact floats."""
+        lane_a, lane_b, session = SimClock(), SimClock(), SimClock()
+        binding = ClockBinding(session)
+        steps = [0.1, 0.2, 0.3, 0.4]
+        for i, dt in enumerate(steps):
+            lane = lane_a if i % 2 == 0 else lane_b
+            binding.rebind(lane)
+            session.advance(dt)
+            binding.sync(lane)
+        # each lane was pushed to anchor + session total at its turns:
+        # the reconstruction is absolute, never an accumulation of deltas
+        assert lane_b.now == binding.anchor + session.now
+        assert session.now == pytest.approx(sum(steps))
+
+    def test_sync_with_equal_timestamps_is_idempotent(self):
+        """advance_to at the exact current instant must not move or raise."""
+        fleet, session = SimClock(), SimClock()
+        binding = ClockBinding(session)
+        binding.rebind(fleet)
+        session.advance(1.25)
+        assert binding.sync(fleet) == 1.25
+        # a second sync with no session progress targets the same float
+        assert binding.sync(fleet) == 1.25
+        assert fleet.now == 1.25
+
+    def test_rebind_is_stable_when_clocks_already_agree(self):
+        fleet, session = SimClock(), SimClock()
+        binding = ClockBinding(session)
+        binding.rebind(fleet)
+        session.advance(2.0)
+        binding.sync(fleet)
+        anchor = binding.anchor
+        # re-binding at the position sync just produced changes nothing
+        binding.rebind(fleet)
+        assert binding.anchor == anchor
+        assert binding.sync(fleet) == fleet.now
+
 
 class TestUtilSpan:
     def test_utilization(self):

@@ -134,8 +134,50 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--scheduler", "priority"])
 
+    def test_fleet_unknown_placement_rejected(self):
+        # argparse choices: same exit-2 convention as the other flags
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["fleet", "--placement", "spread"])
+        assert excinfo.value.code == 2
+
+    def test_fleet_empty_device_list_rejected(self, capsys):
+        assert main(["fleet", "--devices", ""]) == 2
+        assert "at least one device" in capsys.readouterr().err
+        assert main(["fleet", "--devices", " , "]) == 2
+        assert "at least one device" in capsys.readouterr().err
+
+    def test_fleet_blank_device_entry_rejected(self, capsys):
+        assert main(["fleet", "--devices", "rtx4090,,rtx4070ti"]) == 2
+        assert "empty entry" in capsys.readouterr().err
+
+    def test_fleet_unknown_device_in_list_suggests(self, capsys):
+        assert main(["fleet", "--devices", "rtx4090,rtx407ti"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown device 'rtx407ti'" in err
+        assert "did you mean 'rtx4070ti'?" in err
+
+    def test_fleet_multi_device(self, capsys):
+        code = main([
+            "fleet", "--dataset", "amc23", "--requests", "2", "-n", "4",
+            "--rate", "0.05", "--memory-fraction", "0.9",
+            "--devices", "rtx4090,rtx4070ti", "--placement", "least_loaded",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "placement least_loaded" in out
+        assert "per-device utilization" in out
+        assert "dev0:rtx4090" in out and "dev1:rtx4070ti" in out
+
     def test_schedulers_listing(self, capsys):
         assert main(["schedulers"]) == 0
         out = capsys.readouterr().out
         for policy in ("fifo", "sjf", "round_robin", "first_finish"):
             assert policy in out
+        for placement in ("first_fit", "least_loaded", "kv_balanced"):
+            assert placement in out
+
+    def test_devices_listing(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "rtx4090" in out and "rtx4070ti" in out
+        assert "vram GB" in out and "pcie GB/s" in out

@@ -2,16 +2,21 @@
 
 Run from the repo root::
 
-    PYTHONPATH=src python tests/goldens/capture.py
+    PYTHONPATH=src python tests/goldens/capture.py             # all goldens
+    PYTHONPATH=src python tests/goldens/capture.py --filter fleet
 
 The goldens pin the exact observable behaviour of the serving loop —
 per-problem results, round-level traces, and FIFO fleet records — so that
-refactors of the solve loop (e.g. the SolveSession state machine) can
-assert byte-identity against the original monolithic implementation.
+refactors of the solve loop (e.g. the SolveSession state machine, the
+DevicePool fleet redesign) can assert byte-identity against the original
+monolithic implementation. ``--filter`` regenerates a named subset
+(``solve``, ``fleet``) instead of everything — handy when one golden
+family legitimately changed and the others must provably not.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 from pathlib import Path
 
@@ -93,14 +98,32 @@ def capture_fleet() -> dict:
     return runs
 
 
-def main() -> None:
-    (HERE / "solve_goldens.json").write_text(
-        json.dumps(capture_solves(), indent=1, sort_keys=True) + "\n"
+# golden family name -> (output file, capture function)
+GOLDENS = {
+    "solve": ("solve_goldens.json", capture_solves),
+    "fleet": ("fleet_fifo_goldens.json", capture_fleet),
+}
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--filter",
+        action="append",
+        choices=sorted(GOLDENS),
+        default=None,
+        metavar="NAME",
+        help="golden family to regenerate (repeatable; "
+             f"one of: {', '.join(sorted(GOLDENS))}; default: all)",
     )
-    (HERE / "fleet_fifo_goldens.json").write_text(
-        json.dumps(capture_fleet(), indent=1, sort_keys=True) + "\n"
-    )
-    print("goldens written to", HERE)
+    args = parser.parse_args(argv)
+    selected = args.filter if args.filter else sorted(GOLDENS)
+    for name in selected:
+        filename, capture = GOLDENS[name]
+        (HERE / filename).write_text(
+            json.dumps(capture(), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"{name}: wrote {HERE / filename}")
 
 
 if __name__ == "__main__":

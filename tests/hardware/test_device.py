@@ -52,6 +52,12 @@ class TestRegistry:
         with pytest.raises(ModelLookupError):
             get_device("rtx9090")
 
+    def test_unknown_device_suggests_nearest(self):
+        with pytest.raises(ModelLookupError) as excinfo:
+            get_device("rtx409")
+        assert "did you mean 'rtx4090'?" in str(excinfo.value)
+        assert "known devices:" in str(excinfo.value)
+
     def test_register_idempotent(self):
         spec = get_device("rtx4090")
         assert register_device(spec) is spec

@@ -1,10 +1,10 @@
-"""Tests for the GPU memory ledger."""
+"""Tests for the GPU memory ledgers."""
 
 import pytest
 
 from repro.errors import CapacityError
 from repro.hardware.device import DeviceSpec
-from repro.hardware.memory import MemoryLedger
+from repro.hardware.memory import KVLedger, MemoryLedger
 
 _GB = 1024**3
 
@@ -69,3 +69,97 @@ class TestMemoryLedger:
         assert ledger.capacity_bytes == int(8 * _GB)
         with pytest.raises(CapacityError):
             ledger.reserve("gen", "kv", 9 * _GB)
+
+
+class TestKVLedger:
+    def test_growth_within_capacity_is_free(self):
+        ledger = KVLedger(100)
+        assert ledger.charge_growth("a", 40) == []
+        assert ledger.charge_growth("b", 50) == []
+        assert ledger.resident_bytes == 90
+        assert ledger.free_bytes == 10
+        assert ledger.swapped_out_bytes == 0
+
+    def test_growth_evicts_lru_co_resident(self):
+        ledger = KVLedger(100)
+        ledger.charge_growth("a", 60)
+        ledger.charge_growth("b", 30)
+        # a grows past what fits next to b: b (LRU is a... a just grew) —
+        # the victim is the least-recently-run *other* owner
+        evicted = ledger.charge_growth("a", 80)
+        assert evicted == [("b", 30)]
+        assert ledger.resident_of("b") == 0
+        assert ledger.swapped_of("b") == 30
+        assert ledger.swapped_out_bytes == 30
+        assert ledger.resident_bytes == 80
+
+    def test_restore_brings_back_evicted_kv(self):
+        ledger = KVLedger(100)
+        ledger.charge_growth("a", 60)
+        ledger.charge_growth("b", 30)
+        ledger.charge_growth("a", 80)  # evicts b
+        back, evicted = ledger.restore("b")
+        assert back == 30
+        assert evicted == [("a", 80)]  # a displaced in turn
+        assert ledger.resident_of("b") == 30
+        assert ledger.swapped_of("a") == 80
+        assert ledger.swapped_in_bytes == 30
+
+    def test_restore_without_eviction_is_noop(self):
+        ledger = KVLedger(100)
+        ledger.charge_growth("a", 60)
+        assert ledger.restore("a") == (0, [])
+        assert ledger.restore("never-seen") == (0, [])
+
+    def test_eviction_order_is_least_recently_run(self):
+        ledger = KVLedger(100)
+        ledger.charge_growth("a", 30)
+        ledger.charge_growth("b", 30)
+        ledger.charge_growth("a", 30)  # refreshes a: b is now LRU
+        evicted = ledger.charge_growth("c", 70)
+        assert [owner for owner, _ in evicted] == ["b"]
+
+    def test_lone_owner_may_fill_the_budget(self):
+        ledger = KVLedger(100)
+        assert ledger.charge_growth("a", 100) == []
+        assert ledger.free_bytes == 0
+
+    def test_admit_rejects_over_capacity(self):
+        ledger = KVLedger(100)
+        with pytest.raises(CapacityError):
+            ledger.admit("a", 101)
+        assert ledger.resident_bytes == 0
+
+    def test_admit_evicts_to_fit(self):
+        ledger = KVLedger(100)
+        ledger.charge_growth("a", 70)
+        evicted = ledger.admit("b", 60)
+        assert evicted == [("a", 70)]
+        assert ledger.resident_of("b") == 60
+
+    def test_release_frees_everything(self):
+        ledger = KVLedger(100)
+        ledger.charge_growth("a", 60)
+        ledger.charge_growth("b", 30)
+        ledger.charge_growth("a", 80)  # b evicted
+        assert ledger.release("b") == 0  # b had no device-resident bytes
+        assert ledger.swapped_of("b") == 0  # host side gone too
+        assert ledger.release("a") == 80
+        assert ledger.resident_bytes == 0
+        assert ledger.owners == []
+
+    def test_peak_tracking(self):
+        ledger = KVLedger(100)
+        ledger.charge_growth("a", 60)
+        ledger.charge_growth("b", 35)
+        ledger.charge_growth("a", 10)
+        assert ledger.peak_resident_bytes == 95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KVLedger(0)
+        ledger = KVLedger(10)
+        with pytest.raises(ValueError):
+            ledger.charge_growth("a", -1)
+        with pytest.raises(ValueError):
+            ledger.admit("a", -1)
