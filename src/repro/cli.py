@@ -17,10 +17,13 @@ Commands
     arrival times onto a device pool and report fleet metrics (request
     throughput, p50/p95 queueing delay and sojourn, busy fraction, KV swap
     time). ``--scheduler`` picks the request-scheduling policy (``fifo``,
-    ``sjf``, ``round_robin``, ``first_finish``) or compares them all
-    (``--scheduler all``); ``--devices rtx4090,rtx4070ti`` spans a
-    heterogeneous pool and ``--placement`` picks how requests spread
-    across it (``first_fit``, ``least_loaded``, ``kv_balanced``).
+    ``sjf``, ``round_robin``, ``first_finish``, ``prefix_affinity``) or
+    compares them all (``--scheduler all``); ``--devices
+    rtx4090,rtx4070ti`` spans a heterogeneous pool and ``--placement``
+    picks how requests spread across it (``first_fit``, ``least_loaded``,
+    ``kv_balanced``); ``--kv-sharing prefix`` dedups KV prefix segments
+    shared by co-resident sessions in each lane's ledger (``off`` keeps
+    whole-session accounting, byte-identical to the goldens).
 ``schedulers``
     List the registered request-scheduling and placement policies.
 ``devices``
@@ -206,6 +209,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             config, dataset, max_in_flight=args.max_in_flight, scheduler=policy,
             devices=device_names, placement=args.placement,
             oversubscription=args.oversubscription,
+            kv_sharing=args.kv_sharing,
         )
         fleet.submit_stream(list(dataset), algorithm, arrivals)
         reports[policy] = fleet.drain()
@@ -214,6 +218,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     workload = (f"{args.requests} requests @ {args.rate}/s ({args.arrivals}) "
                 f"| {args.system} {args.config} on {device_label} "
                 f"| {args.algorithm} n={args.n}")
+    if args.kv_sharing != "off":
+        workload += f" | kv-sharing {args.kv_sharing}"
     multi_device = device_names is not None and len(device_names) > 1
     if multi_device:
         workload += f" | placement {args.placement}"
@@ -362,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default="swap",
                        help="KV contention policy: charge eviction/restore "
                             "PCIe time (swap) or refuse admission (deny)")
+    fleet.add_argument("--kv-sharing", choices=("off", "prefix"),
+                       default="off", dest="kv_sharing",
+                       help="dedup KV prefix segments shared by co-resident "
+                            "sessions in each lane's ledger (off = "
+                            "whole-session accounting)")
     fleet.add_argument("--memory-fraction", type=float, default=0.4)
     fleet.add_argument("--seed", type=int, default=0)
 

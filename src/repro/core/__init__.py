@@ -27,6 +27,7 @@ from repro.core.pool import (
 from repro.core.scheduler import (
     FifoScheduler,
     FirstFinishScheduler,
+    PrefixAffinityScheduler,
     RequestScheduler,
     RoundRobinScheduler,
     SessionHandle,
@@ -40,6 +41,7 @@ from repro.core.session import SessionState, SolveSession
 from repro.core.prefix_sched import (
     eviction_cost,
     greedy_order,
+    greedy_successor,
     lineage_order,
     random_order,
     schedule_tries,
@@ -64,6 +66,7 @@ __all__ = [
     "SjfScheduler",
     "RoundRobinScheduler",
     "FirstFinishScheduler",
+    "PrefixAffinityScheduler",
     "build_scheduler",
     "list_schedulers",
     "predict_rounds",
@@ -94,6 +97,7 @@ __all__ = [
     "SpecCandidate",
     "speculative_potential",
     "greedy_order",
+    "greedy_successor",
     "lineage_order",
     "random_order",
     "worst_case_order",

@@ -35,7 +35,13 @@ migration) policy choices instead of architecture changes:
   paused session's evicted KV is read back before it resumes
   (:class:`~repro.hardware.memory.KVLedger`). Run-to-completion policies
   never trigger it; interleaving policies now pay the true price of
-  co-residency instead of getting paused KV for free;
+  co-residency instead of getting paused KV for free. With
+  ``kv_sharing="prefix"`` each lane's ledger is a
+  :class:`~repro.hardware.memory.SharedKVLedger`: sessions report their
+  beams' segment lineages, prefix bytes shared across co-resident
+  sessions (First-Finish replicas, same-problem requests) are billed
+  once, and swap traffic covers only unique bytes — replica racing
+  becomes genuinely cheaper, not just differently scheduled;
 * the run aggregates into :class:`~repro.metrics.fleet.FleetMetrics` —
   request throughput, p50/p95 queueing delay and sojourn, busy fraction,
   KV swap time, cancelled-work time for racing schedulers — plus a
@@ -121,11 +127,14 @@ class FleetReport:
     scheduler: str = "fifo"
     placement: str = "first_fit"
     devices: tuple[DeviceUtilization, ...] = ()
+    kv_sharing: str = "off"
 
     @property
     def metrics(self) -> FleetMetrics:
         return FleetMetrics.aggregate(
-            self.records, pool_size=len(self.devices) or None
+            self.records,
+            pool_size=len(self.devices) or None,
+            devices=self.devices or None,
         )
 
     def table(self, title: str | None = None) -> str:
@@ -181,19 +190,32 @@ class TTSFleet:
         placement: PlacementPolicy | str = "first_fit",
         devices: list[str] | None = None,
         oversubscription: str = "swap",
+        kv_sharing: str = "off",
     ) -> None:
         if max_in_flight is not None and max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1 when set")
+        if kv_sharing not in ("off", "prefix"):
+            raise ConfigError(
+                f"kv_sharing must be 'off' or 'prefix', got {kv_sharing!r}"
+            )
         if pool is None:
             if config is None or dataset is None:
                 raise ConfigError(
                     "TTSFleet needs either a DevicePool (pool=...) or a "
                     "(config, dataset) pair to build one"
                 )
-            pool = DevicePool.build(config, dataset, device_names=devices)
+            pool = DevicePool.build(
+                config, dataset, device_names=devices, kv_sharing=kv_sharing
+            )
         elif config is not None or dataset is not None or devices is not None:
             raise ConfigError(
                 "pass either pool=... or (config, dataset[, devices]), not both"
+            )
+        elif kv_sharing != "off":
+            raise ConfigError(
+                "a prepared pool owns its ledgers; build it with "
+                "DevicePool.build(..., kv_sharing='prefix') instead of "
+                "passing kv_sharing to TTSFleet"
             )
         if oversubscription not in ("swap", "deny"):
             raise ConfigError(
@@ -466,14 +488,27 @@ class TTSFleet:
             charge_swap(lane, handle, restored, evicted)
 
         def charge_growth(lane: PooledDevice, handle: SessionHandle) -> None:
-            """Post-round ledger update; the grower pays for evictions."""
+            """Post-round ledger update; the grower pays for evictions.
+
+            Shared-ledger lanes get the session's segment lineage so
+            prefix bytes co-resident sessions share are billed once;
+            whole-session lanes get the opaque byte count. Either way a
+            ledger can report ``restored`` bytes — KV the owner lost to
+            eviction since it last ran that had to come back over PCIe
+            before this round — and the grower pays for both directions.
+            """
             session = handle.session
             if not session.state.live:
                 return  # released in settle()
-            evicted = lane.ledger.charge_growth(
-                session.session_id, session.resident_kv_bytes
-            )
-            charge_swap(lane, handle, 0, evicted)
+            if lane.ledger.segment_granular:
+                restored, evicted = lane.ledger.charge_growth_segments(
+                    session.session_id, session.kv_segments()
+                )
+            else:
+                restored, evicted = lane.ledger.charge_growth(
+                    session.session_id, session.resident_kv_bytes
+                )
+            charge_swap(lane, handle, restored, evicted)
 
         def settle(handle: SessionHandle, lane: PooledDevice) -> None:
             st = states[handle.seq]
@@ -574,5 +609,10 @@ class TTSFleet:
             placement=self._placement.name,
             devices=DeviceUtilization.rollup(
                 tuple(records[seq] for seq in sorted(records)), lanes
+            ),
+            kv_sharing=(
+                "prefix"
+                if any(lane.ledger.segment_granular for lane in lanes)
+                else "off"
             ),
         )

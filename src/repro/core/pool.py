@@ -15,7 +15,12 @@ A :class:`DevicePool` generalizes that to N simulated devices, each a
   schedulers pause sessions with KV still resident; when co-residents
   oversubscribe the budget, the ledger swaps the least-recently-run
   sessions to host memory and the fleet charges the PCIe time — closing
-  the "paused KV is free" simplification flagged in the ROADMAP.
+  the "paused KV is free" simplification flagged in the ROADMAP. With
+  ``kv_sharing="prefix"`` the lane gets a
+  :class:`~repro.hardware.memory.SharedKVLedger` instead: KV is
+  accounted per *segment* against a lane-wide radix tree, so prefix
+  bytes shared by co-resident sessions (racing replicas, same-problem
+  requests) are billed once and swapped only in unique bytes.
 
 Placement — *which device serves a new request* — is a policy axis
 orthogonal to request scheduling (*which session gets the next round on a
@@ -46,7 +51,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from repro.core.server import TTSServer
 from repro.engine.clock import SimClock
 from repro.errors import ConfigError, SchedulingError
-from repro.hardware.memory import KVLedger
+from repro.hardware.memory import KVLedger, SharedKVLedger
 from repro.utils.suggest import did_you_mean
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -82,6 +87,12 @@ class PooledDevice:
     server: TTSServer
     clock: SimClock = field(default=None)  # type: ignore[assignment]
     ledger: KVLedger = field(default=None)  # type: ignore[assignment]
+    #: KV accounting granularity: ``"off"`` bills every co-resident
+    #: session its full footprint (:class:`KVLedger`), ``"prefix"``
+    #: dedups shared prefix segments across sessions
+    #: (:class:`~repro.hardware.memory.SharedKVLedger`). Only consulted
+    #: when the default ledger is built.
+    kv_sharing: str = "off"
     # -- fleet-maintained load state (placement inputs) -------------------
     live_requests: int = 0
     planned_kv_bytes: int = 0
@@ -92,10 +103,15 @@ class PooledDevice:
     kv_swap_s: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.kv_sharing not in ("off", "prefix"):
+            raise ConfigError(
+                f"kv_sharing must be 'off' or 'prefix', got {self.kv_sharing!r}"
+            )
         if self.clock is None:
             self.clock = SimClock(label=self.device_id)
         if self.ledger is None:
-            self.ledger = KVLedger(self.server.kv_budget_bytes)
+            ledger_cls = SharedKVLedger if self.kv_sharing == "prefix" else KVLedger
+            self.ledger = ledger_cls(self.server.kv_budget_bytes)
 
     @property
     def device_id(self) -> str:
@@ -159,11 +175,15 @@ class DevicePool:
         config: "ServerConfig",
         dataset: "Dataset",
         device_names: Sequence[str] | None = None,
+        kv_sharing: str = "off",
     ) -> "DevicePool":
         """One lane per device name, servers sharing everything but the device.
 
         ``device_names=None`` builds the single-device pool of
         ``config.device_name`` — the exact pre-pool fleet.
+        ``kv_sharing="prefix"`` gives every lane a
+        :class:`~repro.hardware.memory.SharedKVLedger` that dedups
+        prefix segments across co-resident sessions.
         """
         if device_names is None:
             names = [config.device_name]
@@ -178,7 +198,11 @@ class DevicePool:
                 else config.with_overrides(device_name=name)
             )
             devices.append(
-                PooledDevice(index=index, server=TTSServer(lane_config, dataset))
+                PooledDevice(
+                    index=index,
+                    server=TTSServer(lane_config, dataset),
+                    kv_sharing=kv_sharing,
+                )
             )
         return cls(devices)
 

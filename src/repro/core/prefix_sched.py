@@ -24,6 +24,7 @@ This module provides:
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Sequence, TypeVar
 
 from repro.kvcache.radix import RadixTree
@@ -31,6 +32,7 @@ from repro.utils.rng import KeyedRng
 
 __all__ = [
     "greedy_order",
+    "greedy_successor",
     "lineage_order",
     "random_order",
     "worst_case_order",
@@ -56,13 +58,37 @@ def lineage_order(items: Sequence[T], lineage_of: LineageFn) -> list[T]:
     return sorted(items, key=lineage_of)
 
 
+def greedy_successor(
+    items: Sequence[T], tree: RadixTree, leaf_of: LeafFn, last_leaf: int
+) -> T:
+    """The paper's greedy invariant: argmax shared prefix with ``last_leaf``.
+
+    The tie-break is the documented deterministic one — the *lowest* leaf
+    id among maximal sharers — stated explicitly here so the anchor sort
+    in :func:`greedy_order` (ascending leaf id) and this successor argmax
+    can never drift apart again. Also used by the fleet's
+    ``prefix_affinity`` scheduler to pick the next *session* on a lane.
+    """
+    if not items:
+        raise ValueError("greedy_successor needs at least one candidate")
+    return min(
+        items,
+        key=lambda it: (
+            -tree.shared_prefix_tokens(last_leaf, leaf_of(it)),
+            leaf_of(it),
+        ),
+    )
+
+
 def greedy_order(items: Sequence[T], tree: RadixTree, leaf_of: LeafFn) -> list[T]:
     """The argmax-greedy schedule from the paper's formulation.
 
     Starts from the item with the deepest path (the densest prefix to
     anchor on) and repeatedly appends the remaining item sharing the most
-    prefix tokens with the last scheduled one. Deterministic tie-break on
-    leaf id. O(k^2 * depth); fine for the paper's n <= 512.
+    prefix tokens with the last scheduled one. Ties break deterministically
+    on ascending leaf id — in the anchor sort and the successor argmax
+    alike (:func:`greedy_successor`). O(k^2 * depth); fine for the
+    paper's n <= 512.
     """
     if not items:
         return []
@@ -70,15 +96,9 @@ def greedy_order(items: Sequence[T], tree: RadixTree, leaf_of: LeafFn) -> list[T
     remaining.sort(key=lambda it: (-tree.get(leaf_of(it)).depth, leaf_of(it)))
     schedule = [remaining.pop(0)]
     while remaining:
-        last_leaf = leaf_of(schedule[-1])
-        best_idx = max(
-            range(len(remaining)),
-            key=lambda i: (
-                tree.shared_prefix_tokens(last_leaf, leaf_of(remaining[i])),
-                -leaf_of(remaining[i]),
-            ),
-        )
-        schedule.append(remaining.pop(best_idx))
+        best = greedy_successor(remaining, tree, leaf_of, leaf_of(schedule[-1]))
+        remaining.remove(best)
+        schedule.append(best)
     return schedule
 
 
@@ -117,7 +137,10 @@ def schedule_tries(
 
     Each Trie T_i is the largest group of consecutively scheduled paths
     whose union of nodes fits ``capacity_nodes`` (the paper's batching
-    model). Returns the node-id set of each Trie.
+    model). Returns the node-id set of each Trie. A single path that by
+    itself exceeds the capacity is scheduled as its own oversized Trie
+    with a ``RuntimeWarning`` — downstream costs over it are lower
+    bounds, not realizable cache behaviour.
     """
     if capacity_nodes < 1:
         raise ValueError("capacity_nodes must be positive")
@@ -125,6 +148,20 @@ def schedule_tries(
     current: set[int] = set()
     for item in ordered:
         nodes = set(tree.path(leaf_of(item)))
+        if len(nodes) > capacity_nodes:
+            # A lone path bigger than the cache can never be co-resident:
+            # it becomes its own Trie, and any cost computed over it is a
+            # *lower bound* (the real cache would thrash within the path).
+            # Surface that instead of silently reporting an unrealizable
+            # cost.
+            warnings.warn(
+                f"path to leaf {leaf_of(item)} needs {len(nodes)} nodes but "
+                f"the cache holds only {capacity_nodes}; scheduling it as an "
+                "oversized trie whose eviction cost understates the real "
+                "thrashing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         union = current | nodes
         if current and len(union) > capacity_nodes:
             tries.append(current)

@@ -25,6 +25,14 @@ next*. Policies shipped here:
     scores) wins, and the losers are cancelled mid-flight. If nobody
     clears the threshold, the canonical replica's result is used — an
     unverified race degrades to exactly the FIFO answer.
+``prefix_affinity``
+    Dynamic Prefix-Aware Scheduling lifted to sessions: the runnable
+    session sharing the most resident KV prefix with the last-run one
+    goes next (the Sec. 4.2 greedy invariant, evaluated over the lane's
+    :class:`~repro.hardware.memory.SharedKVLedger` radix tree), so a
+    shared-ledger lane evicts and restores as few unique bytes as
+    possible. Without a shared ledger it degrades to lineage grouping —
+    sessions of the same problem run back to back.
 
 Schedulers are deliberately small: they see opaque :class:`SessionHandle`
 rows and return one. All device bookkeeping (clock mapping, admission,
@@ -53,6 +61,7 @@ __all__ = [
     "SjfScheduler",
     "RoundRobinScheduler",
     "FirstFinishScheduler",
+    "PrefixAffinityScheduler",
     "predict_rounds",
     "predict_cost",
     "build_scheduler",
@@ -311,11 +320,96 @@ class FirstFinishScheduler(RequestScheduler):
         return answer_confidence(beams) >= self._verify_threshold
 
 
+class PrefixAffinityScheduler(RequestScheduler):
+    """Greedy shared-prefix successor over the lane's KV radix tree.
+
+    The serving-level analogue of Dynamic Prefix-Aware Scheduling
+    (Sec. 4.2): instead of ordering one request's *beams*, order the
+    lane's *sessions* so that consecutively run sessions share the most
+    resident KV prefix. On a lane whose :class:`~repro.hardware.memory
+    .SharedKVLedger` tracks segment lineages, the next session is the
+    :func:`~repro.core.prefix_sched.greedy_successor` of the last-run
+    one — maximal shared prefix bytes with its leaf, ties on ascending
+    leaf id — which minimizes the unique bytes the ledger must evict and
+    restore per switch. Sessions that have not registered segments yet
+    (not yet started) are started only when no registered session is
+    runnable, mirroring the paper's preference for draining warm paths
+    before cold ones.
+
+    Fallback (no shared ledger, or nothing registered yet): the
+    practical sibling-grouping schedule — :func:`~repro.core.prefix_sched
+    .lineage_order` over ``(problem, arrival, replica)`` — which still
+    runs sessions of the same problem back to back.
+    """
+
+    name = "prefix_affinity"
+    description = (
+        "run the session sharing the most resident KV prefix with the last one"
+    )
+
+    def __init__(self) -> None:
+        self._last_owner: dict[int, str] = {}  # lane index -> session id
+
+    @staticmethod
+    def _lineage_key(handle: SessionHandle):
+        return (
+            handle.session.problem.problem_id,
+            handle.arrival_s,
+            handle.seq,
+            handle.replica,
+        )
+
+    def pick(self, runnable: Sequence[SessionHandle], now: float) -> SessionHandle:
+        from repro.core.prefix_sched import greedy_successor
+
+        lane = runnable[0].device
+        ledger = lane.ledger if lane is not None else None
+        choice: SessionHandle | None = None
+        if ledger is not None and ledger.segment_granular:
+            leaves = {
+                h.session.session_id: ledger.owner_leaf(h.session.session_id)
+                for h in runnable
+            }
+            registered = [
+                h for h in runnable if leaves[h.session.session_id] is not None
+            ]
+            anchor_owner = self._last_owner.get(lane.index)
+            anchor = (
+                ledger.owner_leaf(anchor_owner) if anchor_owner is not None else None
+            )
+            if registered and anchor is not None:
+                choice = greedy_successor(
+                    sorted(registered, key=_arrival_key),
+                    ledger.tree,
+                    lambda h: leaves[h.session.session_id],
+                    anchor,
+                )
+            elif registered:
+                # No anchor yet: start from the warmest (deepest) path,
+                # exactly like greedy_order's anchor choice.
+                choice = min(
+                    registered,
+                    key=lambda h: (
+                        -ledger.tree.get(leaves[h.session.session_id]).depth,
+                        leaves[h.session.session_id],
+                        _arrival_key(h),
+                    ),
+                )
+        if choice is None:
+            # The head of lineage_order(runnable, _lineage_key): sessions
+            # of the same problem drain back to back.
+            choice = min(runnable, key=self._lineage_key)
+        if lane is not None:
+            self._last_owner[lane.index] = choice.session.session_id
+        return choice
+
+
 _SCHEDULERS: dict[str, Callable[[], RequestScheduler]] = {
     FifoScheduler.name: FifoScheduler,
     SjfScheduler.name: SjfScheduler,
     RoundRobinScheduler.name: RoundRobinScheduler,
     FirstFinishScheduler.name: FirstFinishScheduler,
+    PrefixAffinityScheduler.name: PrefixAffinityScheduler,
 }
 
 

@@ -50,6 +50,7 @@ from repro.engine.telemetry import Phase, PhaseTimer, TokenCounters, Utilization
 from repro.engine.tracing import SolveTrace
 from repro.engine.worker import GeneratorWorker, VerifierWorker
 from repro.errors import SchedulingError
+from repro.hardware.memory import KVSegment
 from repro.kvcache.cache import PagedKVCache
 from repro.llm.generator import SimulatedGenerator, StepPlan
 from repro.llm.verifier import SimulatedPRM
@@ -69,6 +70,22 @@ __all__ = ["SessionState", "SolveOutcome", "SolveSession", "path_segments",
            "schedule_jobs", "lookahead_worthy"]
 
 _TRUNCATION_STD = 0.05  # spread of the R-truncation draw (Alg. 1, line 19)
+
+
+def _lane_node_id(
+    model_tag: str, namespace: str | None, segment_id: int, is_root: bool
+) -> int:
+    """Lane-tree node id for one cache segment of one session.
+
+    Root segments (the prompt) hold rng-independent content — every
+    session of the problem shares them, so they hash without a
+    namespace. Step segments carry sampled tokens: sessions on forked
+    RNGs would store *different* content under the same stable segment
+    id, so their steps are namespaced apart (canonical sessions pass
+    ``namespace=None`` and genuinely share).
+    """
+    ns = "" if is_root or namespace is None else namespace
+    return stable_hash64("lane-kv", model_tag, ns, segment_id)
 
 
 class SessionState(str, Enum):
@@ -321,6 +338,64 @@ class SolveSession:
         if self._plan is not None and self._plan.offload:
             return gen_bytes if self._active_model == "generator" else ver_bytes
         return gen_bytes + ver_bytes
+
+    @property
+    def kv_namespace(self) -> str | None:
+        """Content namespace for cross-session KV sharing.
+
+        ``None`` marks a *canonical* session — one sampling from the
+        server's own keyed RNG, whose draws for a given ``(problem,
+        lineage, step)`` are identical to every other canonical session's.
+        Such sessions may physically share step KV. A session on a forked
+        RNG (a First-Finish replica) samples *different* tokens under the
+        same stable segment ids, so its steps are namespaced by session
+        id and only rng-independent segments (the prompt) dedup.
+        """
+        return None if self._rng is self._server.rng else self._session_id
+
+    def kv_segments(self) -> tuple[KVSegment, ...]:
+        """This session's resident KV as lane-tree segment claims.
+
+        The segment-granular view behind :attr:`resident_kv_bytes`
+        (claim bytes always sum to it): one :class:`KVSegment` per
+        resident cache segment, parents before children, with lane node
+        ids derived from the stable ``(problem, lineage, step)`` segment
+        hashes — namespaced per :attr:`kv_namespace`, and per model
+        (generator and verifier KV are physically distinct even for the
+        same reasoning step). A :class:`~repro.hardware.memory
+        .SharedKVLedger` refcounts claims with equal node ids across
+        co-resident sessions and bills the bytes once. Under an
+        offloading plan only the active model's cache is device-resident,
+        exactly as in :attr:`resident_kv_bytes`.
+        """
+        if self._gen_cache is None or self._ver_cache is None:
+            return ()
+        views = [
+            ("gen", self._gen_cache, self._server.gen_model.kv_bytes_per_token),
+            ("ver", self._ver_cache, self._server.ver_model.kv_bytes_per_token),
+        ]
+        if self._plan is not None and self._plan.offload:
+            views = [views[0] if self._active_model == "generator" else views[1]]
+        namespace = self.kv_namespace
+        claims: list[KVSegment] = []
+        for tag, cache, bytes_per_token in views:
+            tree = cache.tree
+            for state in cache.resident_segments():
+                node = tree.get(state.segment_id)
+                node_id = _lane_node_id(
+                    tag, namespace, state.segment_id, node.parent_id is None
+                )
+                if node.parent_id is None:
+                    parent_id = None
+                else:
+                    grandparent = tree.get(node.parent_id).parent_id
+                    parent_id = _lane_node_id(
+                        tag, namespace, node.parent_id, grandparent is None
+                    )
+                claims.append(
+                    KVSegment(node_id, parent_id, state.token_len * bytes_per_token)
+                )
+        return tuple(claims)
 
     def charge_kv_swap(self, dt: float) -> None:
         """Charge cross-session KV swap time against this session.

@@ -11,7 +11,13 @@ from repro.hardware.device import (
     list_devices,
     register_device,
 )
-from repro.hardware.memory import MemoryLedger, MemoryReservation
+from repro.hardware.memory import (
+    KVLedger,
+    KVSegment,
+    MemoryLedger,
+    MemoryReservation,
+    SharedKVLedger,
+)
 from repro.hardware.offload import OffloadLink
 from repro.hardware.roofline import Roofline, RooflinePoint
 
@@ -27,6 +33,9 @@ __all__ = [
     "H100_SXM",
     "Roofline",
     "RooflinePoint",
+    "KVLedger",
+    "KVSegment",
+    "SharedKVLedger",
     "MemoryLedger",
     "MemoryReservation",
     "OffloadLink",

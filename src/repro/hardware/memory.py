@@ -17,16 +17,36 @@ fit, the least-recently-run co-resident sessions are swapped out to host
 memory, and the fleet charges the PCIe write/read time on the device
 clock. Eviction is bookkeeping here; *time* is charged by the caller via
 :class:`~repro.hardware.offload.OffloadLink`.
+
+:class:`SharedKVLedger` refines that accounting to *segment* granularity
+against a per-lane :class:`~repro.kvcache.radix.RadixTree` (the paper's
+Sec. 4.2 structure, lifted from one request's beams to the whole lane).
+Sessions report their beams' KV as segment lineages
+(:class:`KVSegment` claims); a segment resident on behalf of N sessions
+is charged once and refcounted, eviction picks LRU leaf-frontier
+segments that no *running* session's path needs, and restore charges
+PCIe only for the unique bytes actually swapped. This is what makes
+replica racing (First Finish Search) and multi-tenant lanes cheaper
+than run-to-completion instead of merely differently scheduled.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.errors import CapacityError
 from repro.hardware.device import DeviceSpec
+from repro.kvcache.radix import RadixTree
+from repro.utils.rng import stable_hash64
 
-__all__ = ["KVLedger", "MemoryLedger", "MemoryReservation"]
+__all__ = [
+    "KVLedger",
+    "KVSegment",
+    "MemoryLedger",
+    "MemoryReservation",
+    "SharedKVLedger",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -127,6 +147,10 @@ class KVLedger:
     fleet metrics rollup.
     """
 
+    #: Whether this ledger accounts segment lineages (``charge_growth_segments``)
+    #: rather than opaque per-owner byte blobs. The fleet dispatches on it.
+    segment_granular = False
+
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
@@ -140,6 +164,31 @@ class KVLedger:
         self.peak_resident_bytes = 0
 
     # -- introspection ---------------------------------------------------
+
+    @property
+    def shared_bytes(self) -> int:
+        """Bytes saved right now by cross-session sharing (0 without it)."""
+        return 0
+
+    @property
+    def peak_shared_bytes(self) -> int:
+        """Running peak of :attr:`shared_bytes` (0 without sharing)."""
+        return 0
+
+    @property
+    def logical_resident_bytes(self) -> int:
+        """Sum of every owner's logical footprint (= resident, no sharing)."""
+        return self.resident_bytes
+
+    @property
+    def peak_logical_bytes(self) -> int:
+        """Running peak of :attr:`logical_resident_bytes` (= resident peak)."""
+        return self.peak_resident_bytes
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical over physical resident bytes (1.0 without sharing)."""
+        return 1.0
 
     @property
     def capacity_bytes(self) -> int:
@@ -197,21 +246,33 @@ class KVLedger:
             evicted.append((victim, moved))
         return evicted
 
-    def charge_growth(self, owner: str, total_bytes: int) -> list[tuple[str, int]]:
+    def charge_growth(
+        self, owner: str, total_bytes: int
+    ) -> tuple[int, list[tuple[str, int]]]:
         """Record ``owner``'s post-round KV footprint as device-resident.
 
         Called after every round the owner runs (its KV is fully resident
-        while it executes). Returns the evictions needed to make room —
-        the *running* session pays for displacing its neighbours.
+        while it executes). Returns ``(restored_bytes, evictions)``: if the
+        owner had been (partially) swapped out since it last ran, growth
+        implies its KV came back first, so the swapped bytes are charged as
+        swapped-in — the caller bills the PCIe read exactly as it would for
+        an explicit :meth:`restore` — and the evictions needed to make room
+        are billed to the *running* session displacing its neighbours.
         """
         if total_bytes < 0:
             raise ValueError("total_bytes must be non-negative")
         self._touch(owner)
+        restored = self._swapped[owner]
+        if restored:
+            # Growth on an evicted owner: its host-side KV must be read
+            # back before it can grow. Route through restore accounting
+            # instead of silently zeroing the swapped bytes.
+            self.swapped_in_bytes += restored
         self._resident[owner] = total_bytes
         self._swapped[owner] = 0
         evicted = self._evict_for(self.resident_bytes - self._capacity, keep=owner)
         self.peak_resident_bytes = max(self.peak_resident_bytes, self.resident_bytes)
-        return evicted
+        return restored, evicted
 
     def restore(self, owner: str) -> tuple[int, list[tuple[str, int]]]:
         """Bring ``owner``'s swapped-out KV back before it resumes.
@@ -257,3 +318,337 @@ class KVLedger:
         self._swapped.pop(owner, None)
         self._stamp.pop(owner, None)
         return self._resident.pop(owner, 0)
+
+
+@dataclass(frozen=True, slots=True)
+class KVSegment:
+    """One segment claim a session reports to a :class:`SharedKVLedger`.
+
+    ``node_id``/``parent_id`` are lane-tree node ids (derived by the
+    session from the stable ``(problem, lineage, step)`` segment hashes,
+    namespaced so only sessions whose sampled content is actually
+    identical collide); ``num_bytes`` is this owner's KV bytes for the
+    segment. Claims arrive parent-before-child.
+    """
+
+    node_id: int
+    parent_id: int | None
+    num_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+
+
+@dataclass(slots=True)
+class _SharedSegment:
+    """Ledger-side state of one lane-tree segment."""
+
+    node_id: int
+    resident: bool = False
+    swapped: bool = False  # evicted to host (vs never materialized / freed)
+    stamp: int = 0
+    owners: dict[str, int] = field(default_factory=dict)  # owner -> bytes
+
+    @property
+    def num_bytes(self) -> int:
+        """Unique device bytes this segment occupies when resident.
+
+        Owners can disagree on length (a shared step one session has
+        fully decoded while another still holds a truncated speculative
+        head); the physical copy covers the longest claim.
+        """
+        return max(self.owners.values(), default=0)
+
+
+class SharedKVLedger(KVLedger):
+    """Segment-granular KV accounting with cross-session prefix sharing.
+
+    Drop-in for :class:`KVLedger` on a pool lane, with one difference the
+    fleet dispatches on (:attr:`segment_granular`): the running session
+    reports its resident KV as a lineage of :class:`KVSegment` claims
+    (:meth:`charge_growth_segments`) instead of one opaque byte count.
+    The ledger keeps a per-lane :class:`~repro.kvcache.radix.RadixTree`
+    over those claims; a segment resident on behalf of N sessions holds
+    device bytes **once** and carries a refcount. Invariants:
+
+    * ``resident_bytes`` is the sum of *unique* resident segment bytes —
+      never double-billed across co-resident owners;
+    * eviction operates on segments: LRU by last touch across owning
+      sessions, leaf-frontier first (a prefix never leaves before its
+      suffix), and never a segment the *running* session's paths need;
+    * :meth:`restore` re-charges PCIe only for the unique bytes actually
+      swapped out — segments a co-resident session kept alive come back
+      for free, which is exactly the replica-racing dedup win;
+    * an owner's logical footprint (``resident_of + swapped_of``) is
+      conserved regardless of how much of it is physically shared.
+
+    The byte-level API (:meth:`charge_growth` / :meth:`admit`) still
+    works — the footprint is held as a single private root segment until
+    the next segment report replaces it — so migration and byte-only
+    callers need no special casing.
+    """
+
+    segment_granular = True
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        self._lane_tree = RadixTree()
+        self._segments: dict[int, _SharedSegment] = {}
+        self._owner_segs: dict[str, set[int]] = {}
+        self._peak_shared = 0
+        self._peak_logical = 0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def tree(self) -> RadixTree:
+        """The lane's radix tree over registered segments."""
+        return self._lane_tree
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(s.num_bytes for s in self._segments.values() if s.resident)
+
+    @property
+    def owners(self) -> list[str]:
+        return sorted(self._owner_segs)
+
+    @property
+    def shared_bytes(self) -> int:
+        # Bytes saved versus whole-session accounting: every owner's
+        # logical claim minus the single physical copy (sized by the
+        # longest claim).
+        return sum(
+            sum(seg.owners.values()) - seg.num_bytes
+            for seg in self._segments.values()
+            if seg.resident and len(seg.owners) > 1
+        )
+
+    @property
+    def peak_shared_bytes(self) -> int:
+        return self._peak_shared
+
+    @property
+    def peak_logical_bytes(self) -> int:
+        return self._peak_logical
+
+    @property
+    def logical_resident_bytes(self) -> int:
+        return sum(
+            bytes_
+            for seg in self._segments.values()
+            if seg.resident
+            for bytes_ in seg.owners.values()
+        )
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical over physical bytes at the run's resident peak (>= 1)."""
+        if self._peak_logical == 0 or self.peak_resident_bytes == 0:
+            return 1.0
+        return self._peak_logical / self.peak_resident_bytes
+
+    def resident_of(self, owner: str) -> int:
+        return sum(
+            seg.owners[owner]
+            for node in self._owner_segs.get(owner, ())
+            if (seg := self._segments[node]).resident
+        )
+
+    def swapped_of(self, owner: str) -> int:
+        return sum(
+            seg.owners[owner]
+            for node in self._owner_segs.get(owner, ())
+            if not (seg := self._segments[node]).resident
+        )
+
+    def segment_owners(self, node_id: int) -> list[str]:
+        """Owners currently claiming a segment (for tests/debugging)."""
+        seg = self._segments.get(node_id)
+        return sorted(seg.owners) if seg else []
+
+    def owner_leaf(self, owner: str) -> int | None:
+        """The owner's deepest registered lane-tree node (None if none).
+
+        Deterministic: maximal depth, ties broken by ascending node id.
+        The prefix-affinity scheduler anchors its successor choice here.
+        """
+        nodes = self._owner_segs.get(owner)
+        if not nodes:
+            return None
+        return min(nodes, key=lambda n: (-self._lane_tree.get(n).depth, n))
+
+    # -- mutation --------------------------------------------------------
+
+    def _ensure_segment(self, claim: KVSegment) -> _SharedSegment:
+        self._lane_tree.ensure_node(claim.node_id, claim.parent_id, claim.num_bytes)
+        seg = self._segments.get(claim.node_id)
+        if seg is None:
+            seg = _SharedSegment(node_id=claim.node_id)
+            self._segments[claim.node_id] = seg
+        return seg
+
+    def _drop_claim(self, owner: str, node_id: int) -> None:
+        """Remove one owner's claim; free the segment when orphaned."""
+        seg = self._segments[node_id]
+        seg.owners.pop(owner, None)
+        if not seg.owners:
+            # Nobody needs it: the bytes are freed, not swapped — there
+            # is no PCIe traffic for discarding dead KV. Drop the ledger
+            # entry so per-round accounting scales with live sessions,
+            # not requests ever served (the lane tree keeps the node, so
+            # a later re-registration reuses the same lineage).
+            del self._segments[node_id]
+
+    def _evictable(self, node_id: int, keep: set[int]) -> bool:
+        seg = self._segments[node_id]
+        if not seg.resident or node_id in keep:
+            return False
+        # Leaf-frontier only: a resident child pins its prefix (a KV
+        # suffix without its prefix is useless to attention).
+        return not any(
+            child in self._segments and self._segments[child].resident
+            for child in self._lane_tree.get(node_id).children
+        )
+
+    def _evict_segments_for(
+        self, need: int, keep: set[int]
+    ) -> list[tuple[str, int]]:
+        """Swap out LRU leaf-frontier segments until ``need`` bytes free."""
+        evicted: list[tuple[str, int]] = []
+        freed = 0
+        while freed < need:
+            candidates = [
+                node for node in self._segments if self._evictable(node, keep)
+            ]
+            if not candidates:
+                break  # only the running session's own paths remain
+            victim = min(
+                candidates,
+                key=lambda n: (self._segments[n].stamp, n),
+            )
+            seg = self._segments[victim]
+            moved = seg.num_bytes
+            seg.resident = False
+            seg.swapped = True
+            self.swapped_out_bytes += moved
+            freed += moved
+            evicted.append((f"seg:{victim}", moved))
+        return evicted
+
+    def _note_peaks(self) -> None:
+        resident = self.resident_bytes
+        if resident > self.peak_resident_bytes:
+            self.peak_resident_bytes = resident
+        logical = self.logical_resident_bytes
+        if logical > self._peak_logical:
+            self._peak_logical = logical
+        shared = self.shared_bytes
+        if shared > self._peak_shared:
+            self._peak_shared = shared
+
+    def charge_growth_segments(
+        self, owner: str, segments: Sequence[KVSegment] | Iterable[KVSegment]
+    ) -> tuple[int, list[tuple[str, int]]]:
+        """Replace ``owner``'s claims with its post-round segment lineage.
+
+        Returns ``(restored_bytes, evictions)`` exactly like
+        :meth:`KVLedger.charge_growth`: ``restored_bytes`` are unique
+        bytes of previously swapped-out segments that had to come back
+        over PCIe before the owner could run (segments a co-resident
+        session kept alive cost nothing), and the evictions are what the
+        growth displaced.
+        """
+        claims = list(segments)
+        self._tick += 1
+        new_ids = {claim.node_id for claim in claims}
+        for node in self._owner_segs.get(owner, set()) - new_ids:
+            self._drop_claim(owner, node)
+        self._owner_segs[owner] = new_ids
+
+        restored = 0
+        for claim in claims:
+            seg = self._ensure_segment(claim)
+            # The host copy of a swapped segment holds its pre-growth
+            # length; only those bytes cross PCIe — growth beyond them is
+            # decoded on device.
+            host_bytes = seg.num_bytes
+            seg.owners[owner] = claim.num_bytes
+            if not seg.resident:
+                if seg.swapped:
+                    # Previously evicted to host: the grower pays the read.
+                    restored += host_bytes
+                    self.swapped_in_bytes += host_bytes
+                # else: freshly computed on device — no PCIe.
+                seg.resident = True
+                seg.swapped = False
+            seg.stamp = self._tick
+        evicted = self._evict_segments_for(
+            self.resident_bytes - self._capacity, keep=new_ids
+        )
+        self._note_peaks()
+        return restored, evicted
+
+    def charge_growth(
+        self, owner: str, total_bytes: int
+    ) -> tuple[int, list[tuple[str, int]]]:
+        """Byte-level fallback: the footprint becomes one private segment."""
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        return self.charge_growth_segments(
+            owner, [KVSegment(self._private_node(owner), None, total_bytes)]
+        )
+
+    def restore(self, owner: str) -> tuple[int, list[tuple[str, int]]]:
+        """Bring the owner's swapped-out segments back before it resumes.
+
+        Unique bytes only: a shared segment some co-resident session kept
+        resident needs no transfer — that discount is the whole point of
+        the shared ledger.
+        """
+        nodes = self._owner_segs.get(owner)
+        if not nodes:
+            return 0, []
+        missing = [n for n in nodes if not self._segments[n].resident]
+        if not missing:
+            return 0, []
+        self._tick += 1
+        restored = 0
+        for node in sorted(missing, key=lambda n: self._lane_tree.get(n).depth):
+            seg = self._segments[node]
+            seg.resident = True
+            if seg.swapped:
+                restored += seg.num_bytes
+                self.swapped_in_bytes += seg.num_bytes
+            seg.swapped = False
+            seg.stamp = self._tick
+        for node in nodes:
+            self._segments[node].stamp = self._tick
+        evicted = self._evict_segments_for(
+            self.resident_bytes - self._capacity, keep=set(nodes)
+        )
+        self._note_peaks()
+        return restored, evicted
+
+    def admit(self, owner: str, num_bytes: int) -> list[tuple[str, int]]:
+        """Place migrated-in KV as a private segment; evicts others to fit."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes > self._capacity:
+            raise CapacityError(
+                f"cannot admit {num_bytes} B of KV for {owner!r}: device KV "
+                f"budget is {self._capacity} B"
+            )
+        _, evicted = self.charge_growth(owner, num_bytes)
+        return evicted
+
+    def release(self, owner: str) -> int:
+        """Drop every claim of ``owner``; returns unique device bytes freed."""
+        before = self.resident_bytes
+        for node in self._owner_segs.pop(owner, set()):
+            self._drop_claim(owner, node)
+        return before - self.resident_bytes
+
+    def _private_node(self, owner: str) -> int:
+        return stable_hash64("shared-kv-private", owner)

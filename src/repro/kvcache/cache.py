@@ -119,6 +119,19 @@ class PagedKVCache:
     def resident_segment_count(self) -> int:
         return sum(1 for s in self._segments.values() if s.resident)
 
+    def resident_segments(self) -> list[SegmentState]:
+        """Resident segments in parent-before-child (topological) order.
+
+        The shared-prefix KV ledger consumes this to register a session's
+        live lineages against the lane's radix tree; ordering parents
+        first lets the consumer create tree nodes in one pass. Sorted by
+        ``(depth, segment_id)`` for determinism.
+        """
+        return sorted(
+            (s for s in self._segments.values() if s.resident),
+            key=lambda s: (self._tree.get(s.segment_id).depth, s.segment_id),
+        )
+
     def is_resident(self, segment_id: int) -> bool:
         state = self._segments.get(segment_id)
         return state is not None and state.resident

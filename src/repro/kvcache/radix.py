@@ -65,6 +65,29 @@ class RadixTree:
         self._nodes[node_id] = node
         return node
 
+    def ensure_node(
+        self, node_id: int, parent_id: int | None, token_len: int
+    ) -> RadixNode:
+        """Insert the segment, or update its length if already present.
+
+        Unlike :meth:`add_node`, a differing ``token_len`` is not an
+        error: callers that track *growing* segments (the shared KV
+        ledger re-registers a lane's resident lineages every round, and
+        an actively decoding tail lengthens between reports) route
+        through here. A differing ``parent_id`` is still structural
+        corruption and raises.
+        """
+        existing = self._nodes.get(node_id)
+        if existing is not None:
+            if existing.parent_id != parent_id:
+                raise ValueError(
+                    f"node {node_id} already exists under parent "
+                    f"{existing.parent_id}, not {parent_id}"
+                )
+            self.set_token_len(node_id, token_len)
+            return existing
+        return self.add_node(node_id, parent_id, token_len)
+
     def get(self, node_id: int) -> RadixNode:
         """Return the node or raise ``KeyError``."""
         return self._require(node_id)

@@ -11,7 +11,9 @@ redundancy-based schedulers such as ``first_finish``) how much device time
 went into sessions whose results were cancelled or discarded.
 
 :class:`DeviceUtilization` rolls the same run up per device lane —
-requests served, busy fraction, migrations in/out, KV swap traffic — so a
+requests served, busy fraction, migrations in/out, KV swap traffic, and
+the lane ledger's cross-session sharing stats (peak bytes saved by
+prefix dedup, peak-logical-over-peak-physical ``kv_dedup_ratio``) — so a
 heterogeneous pool's imbalance is visible at a glance
 (:func:`device_table`).
 
@@ -130,12 +132,15 @@ class FleetMetrics:
     latency_p95_s: float = 0.0
     kv_swap_s: float = 0.0
     devices: int = 1
+    kv_shared_bytes: int = 0
+    kv_dedup_ratio: float = 1.0
 
     @classmethod
     def aggregate(
         cls,
         records: Sequence[FleetRequestRecord],
         pool_size: int | None = None,
+        devices: "Sequence[DeviceUtilization] | None" = None,
     ) -> "FleetMetrics":
         """Pool per-request records into the fleet-level quantities.
 
@@ -143,11 +148,27 @@ class FleetMetrics:
         when omitted it is inferred from the records' device ids — which
         undercounts lanes a placement policy left idle, so callers that
         know the pool (``FleetReport.metrics``) pass it explicitly.
+        ``devices`` (the per-lane rollup rows) supplies the cross-session
+        KV sharing quantities, which live on the lane ledgers rather than
+        the request records; without it ``kv_shared_bytes``/
+        ``kv_dedup_ratio`` report the no-sharing defaults.
         """
         if not records:
             raise ValueError("cannot aggregate an empty fleet run")
         if pool_size is not None and pool_size < 1:
             raise ValueError("pool_size must be >= 1 when set")
+        shared_bytes = 0
+        dedup_ratio = 1.0
+        if devices:
+            shared_bytes = sum(d.kv_shared_bytes for d in devices)
+            peak_resident = sum(d.kv_peak_resident_bytes for d in devices)
+            if peak_resident > 0:
+                # Weighted per-lane ratio: total peak logical bytes over
+                # total peak physical bytes across the pool.
+                logical = sum(
+                    d.kv_dedup_ratio * d.kv_peak_resident_bytes for d in devices
+                )
+                dedup_ratio = logical / peak_resident
         accepted = [r for r in records if r.accepted]
         rejected = len(records) - len(accepted)
         makespan = max((r.finish_s for r in accepted), default=0.0)
@@ -164,7 +185,7 @@ class FleetMetrics:
         # (<= 1) on multi-device fleets, comparable across placement
         # policies (idle lanes still count), and unchanged on
         # single-device runs.
-        devices = pool_size or len(
+        pool_devices = pool_size or len(
             {r.device_id for r in accepted if r.device_id}
         ) or 1
         return cls(
@@ -178,12 +199,14 @@ class FleetMetrics:
             queue_delay_p95_s=percentile(delays, 95.0) if delays else 0.0,
             service_mean_s=(sum(services) / len(services)) if services else 0.0,
             latency_mean_s=(sum(sojourns) / len(sojourns)) if sojourns else 0.0,
-            busy_fraction=(busy / (makespan * devices)) if makespan > 0 else 0.0,
+            busy_fraction=(busy / (makespan * pool_devices)) if makespan > 0 else 0.0,
             sessions=sum(r.replicas for r in accepted),
             cancelled_work_s=sum(r.cancelled_work_s for r in accepted),
             latency_p95_s=percentile(sojourns, 95.0) if sojourns else 0.0,
             kv_swap_s=sum(r.kv_swap_s for r in accepted),
-            devices=devices,
+            devices=pool_devices,
+            kv_shared_bytes=shared_bytes,
+            kv_dedup_ratio=dedup_ratio,
         )
 
     def summary_rows(self) -> list[list[object]]:
@@ -204,6 +227,8 @@ class FleetMetrics:
             ["sessions", self.sessions],
             ["cancelled work s", round(self.cancelled_work_s, 2)],
             ["kv swap s", round(self.kv_swap_s, 2)],
+            ["kv shared MB", round(self.kv_shared_bytes / 1024**2, 2)],
+            ["kv dedup ratio", round(self.kv_dedup_ratio, 3)],
         ]
 
     def table(self, title: str | None = None) -> str:
@@ -230,6 +255,13 @@ class DeviceUtilization:
     kv_swap_s: float = 0.0
     kv_swapped_out_bytes: int = 0
     kv_swapped_in_bytes: int = 0
+    #: Peak bytes the lane ledger saved through cross-session prefix
+    #: sharing (0 on a whole-session ledger).
+    kv_shared_bytes: int = 0
+    #: Peak logical over peak physical resident bytes (1.0 without sharing).
+    kv_dedup_ratio: float = 1.0
+    #: Peak physically resident KV bytes on the lane.
+    kv_peak_resident_bytes: int = 0
 
     @classmethod
     def rollup(
@@ -261,6 +293,9 @@ class DeviceUtilization:
                     kv_swap_s=lane.kv_swap_s,
                     kv_swapped_out_bytes=lane.ledger.swapped_out_bytes,
                     kv_swapped_in_bytes=lane.ledger.swapped_in_bytes,
+                    kv_shared_bytes=lane.ledger.peak_shared_bytes,
+                    kv_dedup_ratio=lane.ledger.dedup_ratio,
+                    kv_peak_resident_bytes=lane.ledger.peak_resident_bytes,
                 )
             )
         return tuple(rows)
@@ -281,12 +316,14 @@ def device_table(
             d.migrations_in,
             d.migrations_out,
             round(d.kv_swap_s, 2),
+            round(d.kv_shared_bytes / 1024**2, 2),
+            round(d.kv_dedup_ratio, 3),
         ]
         for d in devices
     ]
     return render_table(
         ["device", "requests", "busy s", "busy frac",
-         "migr in", "migr out", "kv swap s"],
+         "migr in", "migr out", "kv swap s", "kv shared MB", "dedup"],
         rows,
         title=title,
     )
@@ -316,13 +353,14 @@ def compare_policies(
             round(m.makespan_s, 2),
             round(m.cancelled_work_s, 2),
             round(m.kv_swap_s, 2),
+            round(m.kv_dedup_ratio, 3),
         ]
         for policy, m in metrics_by_policy.items()
     ]
     return render_table(
         ["scheduler", "done", "rej", "queue mean s", "queue p95 s",
          "latency mean s", "p95 sojourn s", "makespan s", "cancelled s",
-         "kv swap s"],
+         "kv swap s", "kv dedup"],
         rows,
         title=title,
     )

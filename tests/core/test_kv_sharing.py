@@ -1,0 +1,288 @@
+"""Cross-session KV prefix sharing: SharedKVLedger through the fleet.
+
+Acceptance contract (ISSUE 5): with ``kv_sharing="prefix"`` on a single
+lane running co-resident sessions of the same problem, total swap time
+and peak resident bytes are strictly lower than the dedup-off baseline
+at identical answers; ``kv_sharing="off"`` stays byte-identical to
+``tests/goldens/fleet_fifo_goldens.json``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import baseline_config, fasttts_config
+from repro.core.fleet import TTSFleet, generate_arrivals
+from repro.core.pool import DevicePool, PooledDevice
+from repro.core.scheduler import FirstFinishScheduler, PrefixAffinityScheduler
+from repro.core.server import TTSServer
+from repro.errors import ConfigError
+from repro.hardware.memory import SharedKVLedger
+from repro.search.registry import build_algorithm
+from repro.workloads.datasets import build_dataset
+
+
+def answer_signature(report):
+    return {
+        rid: sorted((b.lineage, b.answer, b.correct, b.score) for b in res.beams)
+        for rid, res in report.results.items()
+    }
+
+
+def racing_fleet(kv_sharing, scheduler="round_robin", memory_fraction=0.34):
+    """Two co-resident sessions of the *same* problem on one lane.
+
+    0.34 of a 4090 fits either n=16 session alone, and fits both when
+    their shared prefix is deduplicated — but not when each is billed its
+    full footprint, so the dedup-off ledger thrashes.
+    """
+    dataset = build_dataset("amc23", seed=0, size=2)
+    config = fasttts_config(memory_fraction=memory_fraction, seed=0)
+    fleet = TTSFleet(
+        config, dataset, scheduler=scheduler, kv_sharing=kv_sharing
+    )
+    problem = list(dataset)[0]
+    fleet.submit(problem, build_algorithm("beam_search", 16), 0.0)
+    fleet.submit(problem, build_algorithm("beam_search", 16), 1.0)
+    return fleet.drain()
+
+
+@pytest.fixture(scope="module")
+def race_off():
+    return racing_fleet("off")
+
+
+@pytest.fixture(scope="module")
+def race_prefix():
+    return racing_fleet("prefix")
+
+
+class TestAcceptance:
+    """The dedup makes replica racing cheaper, not differently scheduled."""
+
+    def test_swap_time_strictly_lower(self, race_off, race_prefix):
+        assert race_off.metrics.kv_swap_s > 0.0
+        assert race_prefix.metrics.kv_swap_s < race_off.metrics.kv_swap_s
+
+    def test_peak_resident_bytes_strictly_lower(self, race_off, race_prefix):
+        peak_off = race_off.devices[0].kv_peak_resident_bytes
+        peak_on = race_prefix.devices[0].kv_peak_resident_bytes
+        assert 0 < peak_on < peak_off
+
+    def test_answers_identical(self, race_off, race_prefix):
+        assert answer_signature(race_prefix) == answer_signature(race_off)
+
+    def test_sharing_stats_surface(self, race_off, race_prefix):
+        assert race_off.kv_sharing == "off"
+        assert race_prefix.kv_sharing == "prefix"
+        assert race_off.metrics.kv_shared_bytes == 0
+        assert race_off.metrics.kv_dedup_ratio == 1.0
+        assert race_prefix.metrics.kv_shared_bytes > 0
+        assert race_prefix.metrics.kv_dedup_ratio > 1.0
+        lane = race_prefix.devices[0]
+        assert lane.kv_shared_bytes > 0
+        assert lane.kv_dedup_ratio > 1.0
+        assert "dedup" in race_prefix.device_table()
+
+    def test_faster_wall_clock_too(self, race_off, race_prefix):
+        """Less swap is real time: the deduped run finishes sooner."""
+        assert race_prefix.metrics.makespan_s < race_off.metrics.makespan_s
+
+
+class TestFirstFinishReplicas:
+    """FFS forks sample different tokens, so only the rng-independent
+    prompt dedups — still enough to cut swap traffic strictly."""
+
+    @staticmethod
+    def run(kv_sharing):
+        dataset = build_dataset("amc23", seed=0, size=1)
+        config = fasttts_config(memory_fraction=0.32, seed=0)
+        fleet = TTSFleet(
+            config, dataset,
+            scheduler=FirstFinishScheduler(replicas=2),
+            kv_sharing=kv_sharing,
+        )
+        fleet.submit(list(dataset)[0], build_algorithm("beam_search", 16), 0.0)
+        return fleet.drain()
+
+    def test_replica_race_swap_strictly_lower_same_answers(self):
+        off = self.run("off")
+        on = self.run("prefix")
+        assert off.metrics.kv_swap_s > 0.0
+        assert on.metrics.kv_swap_s < off.metrics.kv_swap_s
+        assert answer_signature(on) == answer_signature(off)
+        assert on.metrics.kv_shared_bytes > 0  # the shared prompt
+
+
+class TestOffIsByteIdenticalToGoldens:
+    def test_fifo_open_busy_reproduced_with_explicit_off(self):
+        golden = json.loads(
+            (Path(__file__).parent.parent / "goldens"
+             / "fleet_fifo_goldens.json").read_text()
+        )["open-busy"]
+        dataset = build_dataset("amc23", seed=0, size=5)
+        fleet = TTSFleet(
+            baseline_config(memory_fraction=0.4, seed=0), dataset,
+            scheduler="fifo", kv_sharing="off",
+        )
+        arrivals = generate_arrivals(5, 0.05, seed=0)
+        fleet.submit_stream(
+            list(dataset), build_algorithm("beam_search", 4), arrivals
+        )
+        report = fleet.drain()
+        produced = [
+            {
+                "request_id": r.request_id,
+                "arrival_s": r.arrival_s,
+                "start_s": r.start_s,
+                "finish_s": r.finish_s,
+                "accepted": r.accepted,
+                "reject_reason": r.reject_reason,
+                "latency": r.latency.to_json_dict() if r.latency else None,
+            }
+            for r in report.records
+        ]
+        assert produced == golden["records"]
+        assert {
+            rid: res.to_json_dict() for rid, res in sorted(report.results.items())
+        } == golden["results"]
+
+
+class TestKvSegments:
+    @staticmethod
+    def server(seed=0):
+        dataset = build_dataset("amc23", seed=seed, size=1)
+        return TTSServer(fasttts_config(memory_fraction=0.4, seed=seed), dataset)
+
+    def test_claims_sum_to_resident_bytes(self):
+        server = self.server()
+        problem = list(server.dataset)[0]
+        session = server.session(problem, build_algorithm("beam_search", 4))
+        assert session.kv_segments() == ()
+        for _ in range(5):
+            session.step()
+        claims = session.kv_segments()
+        assert claims
+        assert sum(c.num_bytes for c in claims) == session.resident_kv_bytes
+        # parents precede children, every parent id is itself claimed
+        seen = set()
+        for claim in claims:
+            assert claim.parent_id is None or claim.parent_id in seen
+            seen.add(claim.node_id)
+
+    def test_canonical_sessions_share_all_segments(self):
+        server = self.server()
+        problem = list(server.dataset)[0]
+        a = server.session(problem, build_algorithm("beam_search", 4))
+        b = server.session(problem, build_algorithm("beam_search", 4))
+        for _ in range(5):
+            a.step()
+            b.step()
+        assert a.kv_namespace is None and b.kv_namespace is None
+        ids_a = {c.node_id for c in a.kv_segments()}
+        ids_b = {c.node_id for c in b.kv_segments()}
+        assert ids_a == ids_b  # same rng, same progress: full overlap
+
+    def test_forked_rng_session_shares_only_roots(self):
+        server = self.server()
+        problem = list(server.dataset)[0]
+        canonical = server.session(problem, build_algorithm("beam_search", 4))
+        fork = server.session(
+            problem, build_algorithm("beam_search", 4),
+            rng=server.rng.fork("ffs-replica", "req", 1), session_id="req/r1",
+        )
+        for _ in range(5):
+            canonical.step()
+            fork.step()
+        assert fork.kv_namespace == "req/r1"
+        roots_c = {c.node_id for c in canonical.kv_segments() if c.parent_id is None}
+        roots_f = {c.node_id for c in fork.kv_segments() if c.parent_id is None}
+        assert roots_c == roots_f  # prompt content is rng-independent
+        steps_c = {c.node_id for c in canonical.kv_segments() if c.parent_id is not None}
+        steps_f = {c.node_id for c in fork.kv_segments() if c.parent_id is not None}
+        assert not steps_c & steps_f  # divergent tokens never dedup
+
+
+class TestPrefixAffinityScheduler:
+    def test_registered_and_described(self):
+        from repro.core.scheduler import list_schedulers, scheduler_descriptions
+
+        assert "prefix_affinity" in list_schedulers()
+        assert scheduler_descriptions()["prefix_affinity"]
+
+    def test_cuts_swap_versus_round_robin(self, race_prefix):
+        affinity = racing_fleet("prefix", scheduler="prefix_affinity")
+        assert affinity.metrics.kv_swap_s <= race_prefix.metrics.kv_swap_s
+        assert answer_signature(affinity) == answer_signature(race_prefix)
+
+    def test_deterministic(self):
+        a = racing_fleet("prefix", scheduler="prefix_affinity")
+        b = racing_fleet("prefix", scheduler="prefix_affinity")
+        assert a.records == b.records
+
+    def test_fallback_groups_same_problem(self):
+        """Without a shared ledger the policy degrades to lineage grouping."""
+        from repro.core.scheduler import SessionHandle
+        from repro.engine.clock import ClockBinding
+
+        server = self.any_server()
+        problems = list(server.dataset)
+        algorithm = build_algorithm("beam_search", 4)
+
+        def handle(problem, seq, arrival):
+            session = server.session(
+                problem, algorithm, session_id=f"req-{seq:04d}/r0"
+            )
+            return SessionHandle(
+                request_id=f"req-{seq:04d}", arrival_s=arrival, seq=seq,
+                replica=0, session=session, binding=ClockBinding(session.clock),
+            )
+
+        handles = [
+            handle(problems[1], 0, 0.0),
+            handle(problems[0], 1, 1.0),
+            handle(problems[1], 2, 2.0),
+        ]
+        policy = PrefixAffinityScheduler()
+        pick = policy.pick(handles, 0.0)
+        # lowest problem id first; its same-problem sibling would follow
+        assert pick is handles[1]
+
+    @staticmethod
+    def any_server():
+        dataset = build_dataset("amc23", seed=0, size=2)
+        return TTSServer(fasttts_config(memory_fraction=0.4, seed=0), dataset)
+
+
+class TestConfiguration:
+    def test_bad_kv_sharing_rejected(self):
+        dataset = build_dataset("amc23", seed=0, size=1)
+        with pytest.raises(ConfigError, match="kv_sharing"):
+            TTSFleet(
+                baseline_config(memory_fraction=0.4), dataset, kv_sharing="on"
+            )
+
+    def test_prepared_pool_owns_its_ledgers(self):
+        dataset = build_dataset("amc23", seed=0, size=1)
+        pool = DevicePool.build(baseline_config(memory_fraction=0.4), dataset)
+        with pytest.raises(ConfigError, match="ledgers"):
+            TTSFleet(pool=pool, kv_sharing="prefix")
+
+    def test_pool_build_with_sharing(self):
+        dataset = build_dataset("amc23", seed=0, size=1)
+        pool = DevicePool.build(
+            baseline_config(memory_fraction=0.4), dataset, kv_sharing="prefix"
+        )
+        assert isinstance(pool[0].ledger, SharedKVLedger)
+        assert pool[0].ledger.segment_granular
+        # and a fleet over it reports the sharing mode
+        fleet = TTSFleet(pool=pool)
+        fleet.submit(list(dataset)[0], build_algorithm("beam_search", 4), 0.0)
+        assert fleet.drain().kv_sharing == "prefix"
+
+    def test_pooled_device_validates_mode(self):
+        dataset = build_dataset("amc23", seed=0, size=1)
+        server = TTSServer(baseline_config(memory_fraction=0.4), dataset)
+        with pytest.raises(ConfigError, match="kv_sharing"):
+            PooledDevice(index=0, server=server, kv_sharing="dedup")

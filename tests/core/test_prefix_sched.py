@@ -1,10 +1,13 @@
 """Tests for Dynamic Prefix-Aware Scheduling."""
 
+import warnings
+
 import pytest
 
 from repro.core.prefix_sched import (
     eviction_cost,
     greedy_order,
+    greedy_successor,
     lineage_order,
     random_order,
     schedule_tries,
@@ -154,3 +157,89 @@ class TestEvictionCost:
     def test_empty_schedule_costs_nothing(self):
         tree = RadixTree()
         assert eviction_cost([], tree, lambda x: x, 10) == 0
+
+
+class TestGreedyTieBreaks:
+    """The documented deterministic tie-break: ascending leaf id, in the
+    anchor sort and the successor argmax alike."""
+
+    def tie_heavy_tree(self):
+        """Star of equal-depth, equal-length chains: every successor
+        choice after the anchor is a pure tie on shared prefix."""
+        tree = RadixTree()
+        tree.add_node(0, None, 10)
+        leaves = []
+        for i in range(6):
+            mid, leaf = 100 + i, 200 + i
+            tree.add_node(mid, 0, 5)
+            tree.add_node(leaf, mid, 5)
+            leaves.append(leaf)
+        return tree, leaves
+
+    def test_anchor_prefers_lowest_leaf_id(self):
+        tree, leaves = self.tie_heavy_tree()
+        order = greedy_order(list(reversed(leaves)), tree, lambda x: x)
+        assert order[0] == min(leaves)
+
+    def test_successor_prefers_lowest_leaf_id_on_ties(self):
+        tree, leaves = self.tie_heavy_tree()
+        # all pairs share exactly the root: every step is a full tie, so
+        # the schedule must be ascending leaf ids end to end
+        order = greedy_order(list(reversed(leaves)), tree, lambda x: x)
+        assert order == sorted(leaves)
+
+    def test_greedy_successor_direct(self):
+        tree, leaves = self.tie_heavy_tree()
+        pick = greedy_successor(list(reversed(leaves)), tree, lambda x: x, leaves[0])
+        assert pick == leaves[0]  # itself shares most with itself
+        pick = greedy_successor(
+            [leaves[3], leaves[1], leaves[2]], tree, lambda x: x, leaves[0]
+        )
+        assert pick == leaves[1]  # tie -> lowest id
+
+    def test_greedy_successor_rejects_empty(self):
+        tree, _ = self.tie_heavy_tree()
+        with pytest.raises(ValueError):
+            greedy_successor([], tree, lambda x: x, 0)
+
+    def test_order_invariant_to_input_permutation(self):
+        """Determinism: any input order yields the identical schedule."""
+        tree, leaves = self.tie_heavy_tree()
+        rng = KeyedRng(7)
+        baseline = greedy_order(leaves, tree, lambda x: x)
+        for salt in range(5):
+            shuffled = random_order(leaves, rng, salt=salt)
+            assert greedy_order(shuffled, tree, lambda x: x) == baseline
+
+
+class TestOversizedTrie:
+    def chain_tree(self, depth):
+        tree = RadixTree()
+        tree.add_node(0, None, 4)
+        for i in range(1, depth):
+            tree.add_node(i, i - 1, 4)
+        return tree, depth - 1
+
+    def test_oversized_single_path_warns(self):
+        tree, leaf = self.chain_tree(6)
+        with pytest.warns(RuntimeWarning, match="oversized trie"):
+            tries = schedule_tries([leaf], tree, lambda x: x, capacity_nodes=4)
+        # still scheduled — as its own (oversized) trie
+        assert tries == [set(range(6))]
+
+    def test_oversized_path_does_not_absorb_neighbours(self):
+        tree = RadixTree()
+        tree.add_node(0, None, 4)
+        for i in range(1, 6):
+            tree.add_node(i, i - 1, 4)
+        tree.add_node(10, 0, 4)  # a short sibling path
+        with pytest.warns(RuntimeWarning):
+            tries = schedule_tries([5, 10], tree, lambda x: x, capacity_nodes=4)
+        assert tries == [set(range(6)), {0, 10}]
+
+    def test_fitting_paths_do_not_warn(self):
+        tree, leaf = self.chain_tree(4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            tries = schedule_tries([leaf], tree, lambda x: x, capacity_nodes=4)
+        assert tries == [set(range(4))]

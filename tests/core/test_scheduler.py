@@ -65,7 +65,9 @@ def record_dict(record):
 
 class TestRegistry:
     def test_all_policies_registered(self):
-        assert list_schedulers() == ["fifo", "first_finish", "round_robin", "sjf"]
+        assert list_schedulers() == [
+            "fifo", "first_finish", "prefix_affinity", "round_robin", "sjf"
+        ]
 
     def test_descriptions_cover_every_policy(self):
         assert set(scheduler_descriptions()) == set(list_schedulers())

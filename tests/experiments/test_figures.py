@@ -40,6 +40,7 @@ class TestCheapFigures:
         assert out["generation_util"] < out["verification_util"]
         assert out["generation_decay"] < 0.6
 
+    @pytest.mark.filterwarnings("ignore:path to leaf:RuntimeWarning")
     def test_fig18_ordering_dominance(self):
         out = F.fig18_prefix_memory(n=16, capacities=(8, 16))
         for cap in (8, 16):

@@ -10,8 +10,9 @@ per-problem results, round-level traces, and FIFO fleet records — so that
 refactors of the solve loop (e.g. the SolveSession state machine, the
 DevicePool fleet redesign) can assert byte-identity against the original
 monolithic implementation. ``--filter`` regenerates a named subset
-(``solve``, ``fleet``) instead of everything — handy when one golden
-family legitimately changed and the others must provably not.
+(``solve``, ``fleet``, ``sharing`` — the fleet runs with ``--kv-sharing
+off`` spelled out) instead of everything — handy when one golden family
+legitimately changed and the others must provably not.
 """
 
 from __future__ import annotations
@@ -76,7 +77,7 @@ def _record_dict(record) -> dict:
     }
 
 
-def capture_fleet() -> dict:
+def capture_fleet(kv_sharing: str = "off") -> dict:
     runs = {}
     for label, rate, max_in_flight in (
         ("open-slow", 0.005, None),
@@ -85,7 +86,9 @@ def capture_fleet() -> dict:
     ):
         dataset = build_dataset("amc23", seed=FLEET_SEED, size=5)
         config = baseline_config(memory_fraction=0.4, seed=FLEET_SEED)
-        fleet = TTSFleet(config, dataset, max_in_flight=max_in_flight)
+        fleet = TTSFleet(
+            config, dataset, max_in_flight=max_in_flight, kv_sharing=kv_sharing
+        )
         arrivals = generate_arrivals(len(dataset), rate, seed=FLEET_SEED)
         fleet.submit_stream(list(dataset), build_algorithm("beam_search", 4), arrivals)
         report = fleet.drain()
@@ -98,10 +101,22 @@ def capture_fleet() -> dict:
     return runs
 
 
+def capture_sharing() -> dict:
+    """The fleet goldens again, with ``kv_sharing="off"`` spelled out.
+
+    Writes the *same* file as the ``fleet`` family: the explicit
+    dedup-off ledger path must stay byte-identical to the default one,
+    so regenerating this subset and diffing against the committed golden
+    is exactly the CI assertion that ``--kv-sharing off`` never drifts.
+    """
+    return capture_fleet(kv_sharing="off")
+
+
 # golden family name -> (output file, capture function)
 GOLDENS = {
     "solve": ("solve_goldens.json", capture_solves),
     "fleet": ("fleet_fifo_goldens.json", capture_fleet),
+    "sharing": ("fleet_fifo_goldens.json", capture_sharing),
 }
 
 
@@ -117,7 +132,10 @@ def main(argv: list[str] | None = None) -> None:
              f"one of: {', '.join(sorted(GOLDENS))}; default: all)",
     )
     args = parser.parse_args(argv)
-    selected = args.filter if args.filter else sorted(GOLDENS)
+    # "sharing" is an assertion-only subset (byte-for-byte the fleet
+    # family with the dedup-off ledger spelled out); the default run
+    # skips it so the fleet simulation is not executed twice.
+    selected = args.filter if args.filter else sorted(set(GOLDENS) - {"sharing"})
     for name in selected:
         filename, capture = GOLDENS[name]
         (HERE / filename).write_text(

@@ -208,3 +208,22 @@ class TestReset:
         assert cache.resident_tokens == 0
         with pytest.raises(KeyError):
             cache.segment(1)
+
+
+class TestResidentSegments:
+    def test_topological_order_and_residency(self, cache):
+        assert cache.resident_segments() == []
+        cache.materialize(4)
+        cache.materialize(3, pin=False)
+        segments = cache.resident_segments()
+        ids = [s.segment_id for s in segments]
+        assert set(ids) == {1, 2, 3, 4}
+        # parents precede children, ties on ascending id
+        assert ids.index(1) < ids.index(2) < ids.index(4)
+        assert ids.index(1) < ids.index(3)
+        assert sum(s.token_len for s in segments) == cache.resident_tokens
+
+    def test_reflects_eviction(self, cache):
+        cache.materialize(4, pin=False)
+        cache.evict_path(4)
+        assert cache.resident_segments() == []

@@ -95,3 +95,28 @@ class TestRadixTree:
     def test_contains(self, tree):
         assert 3 in tree
         assert 99 not in tree
+
+
+class TestEnsureNode:
+    def test_inserts_then_updates_length(self):
+        tree = RadixTree()
+        node = tree.ensure_node(1, None, 10)
+        assert node.token_len == 10
+        # a growing segment re-registers with a longer length
+        again = tree.ensure_node(1, None, 25)
+        assert again is node
+        assert tree.get(1).token_len == 25
+
+    def test_parent_mismatch_is_structural_corruption(self):
+        tree = RadixTree()
+        tree.ensure_node(1, None, 10)
+        tree.ensure_node(2, 1, 5)
+        with pytest.raises(ValueError, match="parent"):
+            tree.ensure_node(2, None, 5)
+
+    def test_children_and_depth_as_add_node(self):
+        tree = RadixTree()
+        tree.ensure_node(1, None, 10)
+        tree.ensure_node(2, 1, 5)
+        assert tree.get(2).depth == 1
+        assert 2 in tree.get(1).children

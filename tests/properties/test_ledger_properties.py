@@ -1,0 +1,138 @@
+"""Property-based invariants for the runtime KV ledgers.
+
+After *any* sequence of ``charge_growth`` / ``restore`` / ``admit`` /
+``release`` (plus segment-granular growth on the shared ledger):
+
+* device residency never exceeds capacity (every single claim fits by
+  construction, as fleet admission control guarantees);
+* each owner's books are conserved — resident plus swapped bytes equal
+  its last reported footprint, no bytes silently vanish;
+* on the shared ledger, reported ``resident_bytes`` equals the sum of
+  unique resident segment bytes and never exceeds the whole-session sum
+  (sharing can only save, never inflate).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.hardware.memory import KVLedger, KVSegment, SharedKVLedger
+
+CAPACITY = 100
+OWNERS = ("a", "b", "c")
+
+# One op: (kind, owner index, payload). Byte payloads stay within the
+# capacity — a single session's plan always fits the device (admission
+# control) — and segment chains sum to at most 3 * 30 = 90 bytes.
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("grow"), st.integers(0, 2), st.integers(0, CAPACITY)),
+        st.tuples(st.just("restore"), st.integers(0, 2), st.none()),
+        st.tuples(st.just("admit"), st.integers(0, 2), st.integers(0, CAPACITY)),
+        st.tuples(st.just("release"), st.integers(0, 2), st.none()),
+        st.tuples(
+            st.just("grow_segs"),
+            st.integers(0, 2),
+            st.lists(st.integers(1, 30), min_size=1, max_size=3),
+        ),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def lineage_claims(owner_idx, sizes, shared_root):
+    """A root->leaf chain; ``shared_root=True`` reuses one cross-owner
+    root (the prompt analogue), the rest are per-owner private."""
+    claims, parent = [], None
+    for depth, size in enumerate(sizes):
+        if depth == 0 and shared_root:
+            node = 7  # same root for every owner: the shared prompt
+        else:
+            node = 1000 * (owner_idx + 1) + depth
+        claims.append(KVSegment(node, parent, size))
+        parent = node
+    return claims
+
+
+def apply_ops(ledger, op_list, shared_root=False):
+    """Drive the ledger; returns each owner's expected logical footprint."""
+    expected = {}
+    for kind, owner_idx, payload in op_list:
+        owner = OWNERS[owner_idx]
+        if kind == "grow":
+            ledger.charge_growth(owner, payload)
+            expected[owner] = payload
+        elif kind == "restore":
+            ledger.restore(owner)
+        elif kind == "admit":
+            ledger.admit(owner, payload)
+            expected[owner] = payload
+        elif kind == "release":
+            ledger.release(owner)
+            expected.pop(owner, None)
+        elif kind == "grow_segs":
+            if not isinstance(ledger, SharedKVLedger):
+                ledger.charge_growth(owner, sum(payload))
+            else:
+                ledger.charge_growth_segments(
+                    owner, lineage_claims(owner_idx, payload, shared_root)
+                )
+            expected[owner] = sum(payload)
+    return expected
+
+
+def check_invariants(ledger, expected):
+    assert 0 <= ledger.resident_bytes <= CAPACITY
+    assert ledger.free_bytes >= 0
+    for owner, footprint in expected.items():
+        resident = ledger.resident_of(owner)
+        swapped = ledger.swapped_of(owner)
+        assert resident >= 0 and swapped >= 0
+        assert resident + swapped == footprint, (
+            f"{owner}: resident {resident} + swapped {swapped} != "
+            f"reported footprint {footprint}"
+        )
+    assert ledger.peak_resident_bytes <= CAPACITY
+    assert ledger.swapped_out_bytes >= 0
+    assert ledger.swapped_in_bytes >= 0
+
+
+class TestKVLedgerInvariants:
+    @given(ops)
+    @settings(max_examples=200, deadline=None)
+    def test_conservation_and_capacity(self, op_list):
+        ledger = KVLedger(CAPACITY)
+        expected = apply_ops(ledger, op_list)
+        check_invariants(ledger, expected)
+        assert ledger.logical_resident_bytes == ledger.resident_bytes
+        assert ledger.dedup_ratio == 1.0
+
+
+class TestSharedKVLedgerInvariants:
+    @given(ops, st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_conservation_capacity_and_unique_bytes(self, op_list, shared_root):
+        ledger = SharedKVLedger(CAPACITY)
+        expected = apply_ops(ledger, op_list, shared_root=shared_root)
+        check_invariants(ledger, expected)
+        # resident_bytes is exactly the unique resident segment bytes...
+        unique = sum(
+            seg.num_bytes for seg in ledger._segments.values() if seg.resident
+        )
+        assert ledger.resident_bytes == unique
+        # ...and sharing can only save relative to whole-session billing
+        logical = sum(ledger.resident_of(o) for o in expected)
+        assert ledger.resident_bytes <= logical or not expected
+        assert ledger.logical_resident_bytes == logical
+        assert ledger.shared_bytes >= 0
+        assert ledger.dedup_ratio >= 1.0
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_restore_after_any_history_makes_owner_resident(self, op_list):
+        ledger = SharedKVLedger(CAPACITY)
+        expected = apply_ops(ledger, op_list, shared_root=True)
+        for owner in expected:
+            ledger.restore(owner)
+            assert ledger.swapped_of(owner) == 0
+            assert ledger.resident_of(owner) == expected[owner]

@@ -1,6 +1,7 @@
 """Property-based tests on scheduling and allocation invariants."""
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.core.allocator import RooflineAllocator, WorkloadProfile
@@ -45,6 +46,10 @@ lineage_lists = st.lists(
 
 
 class TestGreedyScheduleProperties:
+    # Tiny capacities vs deep paths intentionally hit the oversized-trie
+    # regime, where eviction_cost is a documented lower bound; the
+    # dominance/bound claims below hold for the model either way.
+    @pytest.mark.filterwarnings("ignore:path to leaf:RuntimeWarning")
     @given(lineage_lists, st.integers(2, 30))
     @settings(max_examples=60, deadline=None)
     def test_greedy_never_loses_to_random(self, lineages, capacity):
@@ -59,6 +64,7 @@ class TestGreedyScheduleProperties:
         )
         assert greedy <= rand
 
+    @pytest.mark.filterwarnings("ignore:path to leaf:RuntimeWarning")
     @given(lineage_lists, st.integers(2, 30))
     @settings(max_examples=60, deadline=None)
     def test_cost_lower_bound(self, lineages, capacity):
