@@ -1,0 +1,136 @@
+"""Fleet serving throughput benchmark.
+
+Measures how fast the *simulator itself* runs — distinct from the
+simulated serving metrics the fleet reports. Each scenario drains a
+small open-arrival workload and records:
+
+- ``sim_seconds_per_wall_second``: simulated makespan divided by the
+  wall-clock time the drain took (higher = cheaper simulation),
+- ``sessions_per_sec``: accepted requests drained per wall second,
+- ``peak_rss_mib``: process high-water resident set size,
+
+plus the headline serving metrics (throughput, mean latency, mean
+TTFT, batch occupancy) so regressions in either dimension show up in
+the same artifact. Results land in ``BENCH_fleet.json`` at the repo
+root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+    PYTHONPATH=src python benchmarks/bench_fleet.py --requests 8 --out -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import baseline_config, fasttts_config
+from repro.core.fleet import TTSFleet, generate_arrivals
+from repro.search.registry import build_algorithm
+from repro.workloads.datasets import build_dataset
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCENARIOS = [
+    # name, config factory, scheduler, kv_sharing, batching, beam width
+    ("fifo_off", baseline_config, "fifo", "off", "off", 4),
+    ("fifo_continuous", baseline_config, "fifo", "off", "continuous", 4),
+    ("rr_sharing_continuous", fasttts_config, "round_robin", "prefix",
+     "continuous", 4),
+]
+
+
+def peak_rss_mib() -> float:
+    """Process high-water RSS in MiB (ru_maxrss is KiB on Linux)."""
+    rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # reported in bytes there
+        rss_kib /= 1024
+    return round(rss_kib / 1024, 1)
+
+
+def run_scenario(name, config_factory, scheduler, kv_sharing, batching,
+                 width, requests, rate):
+    dataset = build_dataset("amc23", seed=0, size=requests)
+    fleet = TTSFleet(
+        config_factory(memory_fraction=0.4, seed=0), dataset,
+        scheduler=scheduler, kv_sharing=kv_sharing, batching=batching,
+    )
+    arrivals = generate_arrivals(requests, rate, seed=0)
+    fleet.submit_stream(
+        list(dataset), build_algorithm("beam_search", width), arrivals
+    )
+    wall_start = time.perf_counter()
+    report = fleet.drain()
+    wall_s = time.perf_counter() - wall_start
+    m = report.metrics
+    return {
+        "scenario": name,
+        "scheduler": scheduler,
+        "kv_sharing": kv_sharing,
+        "batching": batching,
+        "requests": requests,
+        "wall_s": round(wall_s, 3),
+        "sim_makespan_s": round(m.makespan_s, 3),
+        "sim_seconds_per_wall_second": (
+            round(m.makespan_s / wall_s, 1) if wall_s > 0 else None
+        ),
+        "sessions_per_sec": (
+            round(m.completed / wall_s, 2) if wall_s > 0 else None
+        ),
+        "peak_rss_mib": peak_rss_mib(),
+        "serving": {
+            "throughput_rps": round(m.throughput_rps, 4),
+            "latency_mean_s": round(m.latency_mean_s, 2),
+            "ttft_mean_s": round(m.ttft_mean_s, 2),
+            "tpot_s": round(m.tpot_mean_s, 5),
+            "batch_occupancy_mean": round(m.batch_occupancy_mean, 2),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=5,
+                        help="open-arrival requests per scenario")
+    parser.add_argument("--rate", type=float, default=1.0,
+                        help="mean arrival rate (req/s, simulated)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_fleet.json"),
+                        help="output path, or '-' for stdout")
+    args = parser.parse_args(argv)
+
+    results = []
+    for name, factory, scheduler, sharing, batching, width in SCENARIOS:
+        result = run_scenario(name, factory, scheduler, sharing, batching,
+                              width, args.requests, args.rate)
+        results.append(result)
+        print(
+            f"{name:24s} wall={result['wall_s']:7.3f}s "
+            f"sim/wall={result['sim_seconds_per_wall_second']}x "
+            f"sessions/s={result['sessions_per_sec']} "
+            f"rss={result['peak_rss_mib']}MiB",
+            file=sys.stderr,
+        )
+
+    payload = {
+        "benchmark": "bench_fleet",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

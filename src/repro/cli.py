@@ -23,7 +23,11 @@ Commands
     picks how requests spread across it (``first_fit``, ``least_loaded``,
     ``kv_balanced``); ``--kv-sharing prefix`` dedups KV prefix segments
     shared by co-resident sessions in each lane's ledger (``off`` keeps
-    whole-session accounting, byte-identical to the goldens).
+    whole-session accounting, byte-identical to the goldens);
+    ``--batching continuous`` coalesces co-resident sessions' rounds into
+    jointly-costed batches per lane — weight reads amortize across the
+    batch and the report gains TTFT/TPOT and occupancy rows (``off``
+    time-slices one session per round, byte-identical to the goldens).
 ``schedulers``
     List the registered request-scheduling and placement policies.
 ``devices``
@@ -210,6 +214,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             devices=device_names, placement=args.placement,
             oversubscription=args.oversubscription,
             kv_sharing=args.kv_sharing,
+            batching=args.batching,
         )
         fleet.submit_stream(list(dataset), algorithm, arrivals)
         reports[policy] = fleet.drain()
@@ -220,6 +225,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 f"| {args.algorithm} n={args.n}")
     if args.kv_sharing != "off":
         workload += f" | kv-sharing {args.kv_sharing}"
+    if args.batching != "off":
+        workload += f" | batching {args.batching}"
     multi_device = device_names is not None and len(device_names) > 1
     if multi_device:
         workload += f" | placement {args.placement}"
@@ -373,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dedup KV prefix segments shared by co-resident "
                             "sessions in each lane's ledger (off = "
                             "whole-session accounting)")
+    fleet.add_argument("--batching", choices=("off", "continuous"),
+                       default="off",
+                       help="coalesce co-resident sessions' rounds into one "
+                            "jointly-costed batch per lane iteration (off = "
+                            "one session's round at a time)")
     fleet.add_argument("--memory-fraction", type=float, default=0.4)
     fleet.add_argument("--seed", type=int, default=0)
 

@@ -59,6 +59,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.core.batcher import RoundBatcher
 from repro.core.config import ServerConfig
 from repro.core.pool import DevicePool, PlacementPolicy, PooledDevice, build_placement
 from repro.core.scheduler import RequestScheduler, SessionHandle, build_scheduler
@@ -128,6 +129,7 @@ class FleetReport:
     placement: str = "first_fit"
     devices: tuple[DeviceUtilization, ...] = ()
     kv_sharing: str = "off"
+    batching: str = "off"
 
     @property
     def metrics(self) -> FleetMetrics:
@@ -191,12 +193,17 @@ class TTSFleet:
         devices: list[str] | None = None,
         oversubscription: str = "swap",
         kv_sharing: str = "off",
+        batching: str = "off",
     ) -> None:
         if max_in_flight is not None and max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1 when set")
         if kv_sharing not in ("off", "prefix"):
             raise ConfigError(
                 f"kv_sharing must be 'off' or 'prefix', got {kv_sharing!r}"
+            )
+        if batching not in ("off", "continuous"):
+            raise ConfigError(
+                f"batching must be 'off' or 'continuous', got {batching!r}"
             )
         if pool is None:
             if config is None or dataset is None:
@@ -205,7 +212,8 @@ class TTSFleet:
                     "(config, dataset) pair to build one"
                 )
             pool = DevicePool.build(
-                config, dataset, device_names=devices, kv_sharing=kv_sharing
+                config, dataset, device_names=devices,
+                kv_sharing=kv_sharing, batching=batching,
             )
         elif config is not None or dataset is not None or devices is not None:
             raise ConfigError(
@@ -217,11 +225,18 @@ class TTSFleet:
                 "DevicePool.build(..., kv_sharing='prefix') instead of "
                 "passing kv_sharing to TTSFleet"
             )
+        elif batching != "off":
+            raise ConfigError(
+                "a prepared pool owns its lanes' batching mode; build it "
+                "with DevicePool.build(..., batching='continuous') instead "
+                "of passing batching to TTSFleet"
+            )
         if oversubscription not in ("swap", "deny"):
             raise ConfigError(
                 f"oversubscription must be 'swap' or 'deny', got {oversubscription!r}"
             )
         self._pool = pool
+        self._batcher = RoundBatcher()
         self._oversubscription = oversubscription
         self._max_in_flight = max_in_flight
         self._scheduler = (
@@ -487,6 +502,33 @@ class TTSFleet:
             restored, evicted = lane.ledger.restore(handle.session.session_id)
             charge_swap(lane, handle, restored, evicted)
 
+        def service_start(lane: PooledDevice, handle: SessionHandle) -> None:
+            """First pick of a handle: stamp service start, install offsets."""
+            start = max(lane.clock.now, handle.arrival_s)
+            handle.start_s = start
+            st = states[handle.seq]
+            if st.start_s is None:
+                st.start_s = start
+            # Later arrivals expressed on the session's own clock (t=0
+            # at service start); non-positive offsets mean someone is
+            # already waiting and speculation never starts.
+            handle.session.set_arrival_offsets(
+                tuple(
+                    req.arrival_s - start
+                    for req in requests[handle.seq + 1:]
+                )
+            )
+
+        def capture_first_token(handle: SessionHandle) -> None:
+            """Map a session's first-token time onto the fleet timeline."""
+            if (
+                handle.first_token_s is None
+                and handle.session.first_token_s is not None
+            ):
+                handle.first_token_s = (
+                    handle.binding.anchor + handle.session.first_token_s
+                )
+
         def charge_growth(lane: PooledDevice, handle: SessionHandle) -> None:
             """Post-round ledger update; the grower pays for evictions.
 
@@ -531,6 +573,7 @@ class TTSFleet:
             for h in siblings:
                 lane.ledger.release(h.session.session_id)
             result = winner.session.outcome.result
+            committed = result.tokens.committed
             records[st.seq] = FleetRequestRecord(
                 request_id=st.request.request_id,
                 arrival_s=st.request.arrival_s,
@@ -545,6 +588,16 @@ class TTSFleet:
                 device_time_s=winner.session.clock.now + cancelled_work,
                 device_id=lane.device_id,
                 kv_swap_s=sum(h.kv_swap_s for h in siblings),
+                ttft_s=(
+                    winner.first_token_s - st.request.arrival_s
+                    if winner.first_token_s is not None
+                    else None
+                ),
+                tpot_s=(
+                    result.latency.generation / committed
+                    if committed > 0
+                    else None
+                ),
             )
             st.record = records[st.seq]
             results[st.request.request_id] = result
@@ -567,25 +620,36 @@ class TTSFleet:
                 break
 
             clock = act.clock
+            if act.batching == "continuous":
+                # Iteration-level admission: every runnable session that
+                # has arrived (or already started) joins this iteration's
+                # jointly-costed batch; later arrivals join the next one.
+                members = [
+                    h for h in lane_runnable(act)
+                    if h.start_s is not None or h.arrival_s <= clock.now
+                ]
+                if members:
+                    turn = self._batcher.run_iteration(
+                        act,
+                        members,
+                        turn=turn,
+                        on_service_start=service_start,
+                        charge_restore=charge_restore,
+                        charge_growth=charge_growth,
+                        on_done=settle,
+                    )
+                    # The lane clock sits at the batch horizon, not at any
+                    # single member's position: force the next solo step
+                    # to rebind (and restore) whichever session it picks.
+                    current[act.index] = None
+                    continue
+
             handle = self._scheduler.pick(lane_runnable(act), clock.now)
             session = handle.session
             if handle.start_s is None:
-                start = max(clock.now, handle.arrival_s)
-                handle.start_s = start
-                st = states[handle.seq]
-                if st.start_s is None:
-                    st.start_s = start
-                # Later arrivals expressed on the session's own clock (t=0
-                # at service start); non-positive offsets mean someone is
-                # already waiting and speculation never starts.
-                session.set_arrival_offsets(
-                    tuple(
-                        req.arrival_s - start
-                        for req in requests[handle.seq + 1:]
-                    )
-                )
-                if start > clock.now:
-                    clock.advance(start - clock.now)  # idle gap
+                service_start(act, handle)
+                if handle.start_s > clock.now:
+                    clock.advance(handle.start_s - clock.now)  # idle gap
                 handle.binding.rebind(clock)
             elif handle is not current[act.index]:
                 handle.binding.rebind(clock)
@@ -595,6 +659,7 @@ class TTSFleet:
                 session.step()  # zero-cost setup: plan, caches, workers
             session.step()  # one generation / verification / finalize round
             charge_growth(act, handle)
+            capture_first_token(handle)
             handle.binding.sync(clock)
             handle.last_stepped = turn
             turn += 1
@@ -613,6 +678,11 @@ class TTSFleet:
             kv_sharing=(
                 "prefix"
                 if any(lane.ledger.segment_granular for lane in lanes)
+                else "off"
+            ),
+            batching=(
+                "continuous"
+                if any(lane.batching == "continuous" for lane in lanes)
                 else "off"
             ),
         )

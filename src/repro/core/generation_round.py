@@ -158,13 +158,18 @@ class GenerationRound:
             avg_cache = (
                 sum(s.context_len + s.progress for s in running) / busy + delta / 2.0
             )
-            self._worker.decode_span(
+            span_start = self._worker.clock.now
+            span_dt = self._worker.decode_span(
                 n_steps=delta,
                 busy_slots=busy,
                 capacity_slots=capacity,
                 avg_cache_len=avg_cache,
                 speculative_slots=spec_slots,
             )
+            if stats.first_token_time is None:
+                # The span decodes lockstep: its first token lands one
+                # per-step latency after the span begins.
+                stats.first_token_time = span_start + span_dt / delta
             self._grow_slots(running, waiting, heads, delta, stats)
 
             still_running: list[_Slot] = []

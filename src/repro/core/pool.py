@@ -93,6 +93,11 @@ class PooledDevice:
     #: (:class:`~repro.hardware.memory.SharedKVLedger`). Only consulted
     #: when the default ledger is built.
     kv_sharing: str = "off"
+    #: Round coalescing: ``"off"`` serves one session's round at a time
+    #: (time-slicing), ``"continuous"`` drives the lane through the
+    #: fleet's :class:`~repro.core.batcher.RoundBatcher` — co-resident
+    #: sessions' rounds run as one jointly-costed batch per iteration.
+    batching: str = "off"
     # -- fleet-maintained load state (placement inputs) -------------------
     live_requests: int = 0
     planned_kv_bytes: int = 0
@@ -101,11 +106,21 @@ class PooledDevice:
     migrations_in: int = 0
     migrations_out: int = 0
     kv_swap_s: float = 0.0
+    #: Batched-iteration rollups (filled by the round batcher): how many
+    #: generation sub-batches the lane launched, the total member rounds
+    #: they contained, and the widest batch seen.
+    batch_iterations: int = 0
+    batch_member_rounds: int = 0
+    batch_peak_occupancy: int = 0
 
     def __post_init__(self) -> None:
         if self.kv_sharing not in ("off", "prefix"):
             raise ConfigError(
                 f"kv_sharing must be 'off' or 'prefix', got {self.kv_sharing!r}"
+            )
+        if self.batching not in ("off", "continuous"):
+            raise ConfigError(
+                f"batching must be 'off' or 'continuous', got {self.batching!r}"
             )
         if self.clock is None:
             self.clock = SimClock(label=self.device_id)
@@ -176,6 +191,7 @@ class DevicePool:
         dataset: "Dataset",
         device_names: Sequence[str] | None = None,
         kv_sharing: str = "off",
+        batching: str = "off",
     ) -> "DevicePool":
         """One lane per device name, servers sharing everything but the device.
 
@@ -184,6 +200,9 @@ class DevicePool:
         ``kv_sharing="prefix"`` gives every lane a
         :class:`~repro.hardware.memory.SharedKVLedger` that dedups
         prefix segments across co-resident sessions.
+        ``batching="continuous"`` marks every lane for the fleet's
+        :class:`~repro.core.batcher.RoundBatcher`, which coalesces
+        co-resident sessions' rounds into jointly-costed batches.
         """
         if device_names is None:
             names = [config.device_name]
@@ -202,6 +221,7 @@ class DevicePool:
                     index=index,
                     server=TTSServer(lane_config, dataset),
                     kv_sharing=kv_sharing,
+                    batching=batching,
                 )
             )
         return cls(devices)

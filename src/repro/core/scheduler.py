@@ -83,7 +83,10 @@ class SessionHandle:
     :class:`~repro.core.pool.PooledDevice` lane the request was placed on
     (None only for handles built outside a pool-driven fleet).
     ``kv_swap_s`` accumulates the cross-session KV contention and
-    migration time charged to this session.
+    migration time charged to this session. ``first_token_s`` is the
+    fleet time the session produced its first generated token (None
+    until then) — the fleet captures it for the TTFT metric by mapping
+    the session's private first-token time through its clock binding.
     """
 
     request_id: str
@@ -97,6 +100,7 @@ class SessionHandle:
     last_stepped: int = -1
     predicted_cost: tuple[int, int] | None = None
     kv_swap_s: float = 0.0
+    first_token_s: float | None = None
 
     @property
     def runnable(self) -> bool:

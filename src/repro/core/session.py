@@ -66,8 +66,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (server builds sessio
     from repro.core.config import ServerConfig
     from repro.core.server import TTSServer
 
-__all__ = ["SessionState", "SolveOutcome", "SolveSession", "path_segments",
-           "schedule_jobs", "lookahead_worthy"]
+__all__ = ["SessionState", "SolveOutcome", "SolveSession", "RoundContribution",
+           "path_segments", "schedule_jobs", "lookahead_worthy"]
 
 _TRUNCATION_STD = 0.05  # spread of the R-truncation draw (Alg. 1, line 19)
 
@@ -112,6 +112,22 @@ class SolveOutcome:
     collected: tuple[ReasoningPath, ...]
     plan: AllocationPlan
     trace: "SolveTrace | None" = None
+
+
+@dataclass(frozen=True, slots=True)
+class RoundContribution:
+    """One session's share of a (possibly co-batched) generation round.
+
+    Produced by :meth:`SolveSession.begin_generation_round`: the prepared
+    :class:`~repro.core.generation_round.GenerationRound` executor plus
+    the scheduled jobs it should run. A driver (the session's own
+    ``step()``, or the fleet's :class:`~repro.core.batcher.RoundBatcher`)
+    runs ``round.run(jobs)`` and hands the result back through
+    :meth:`SolveSession.finish_generation_round`.
+    """
+
+    round: GenerationRound
+    jobs: list[GenJob]
 
 
 # -- stateless policy helpers (shared by server compat shims and sessions) --
@@ -262,6 +278,7 @@ class SolveSession:
         # Per-round carry between the GENERATING and VERIFYING states.
         self._plans: dict[tuple[int, ...], StepPlan] = {}
         self._gen_result = None
+        self._first_token_s: float | None = None
 
         # Preemption inputs.
         self._preempt_at: float | None = min(arrivals) if arrivals else None
@@ -299,6 +316,15 @@ class SolveSession:
     @property
     def rounds_completed(self) -> int:
         return self._round_idx
+
+    @property
+    def first_token_s(self) -> float | None:
+        """Session-clock time of the first generated token (None until then).
+
+        Service time, not fleet time: the fleet adds the session's clock
+        anchor to place it on the shared timeline for the TTFT metric.
+        """
+        return self._first_token_s
 
     @property
     def outcome(self) -> SolveOutcome:
@@ -559,9 +585,30 @@ class SolveSession:
 
     def _step_generate(self) -> None:
         """GENERATING → VERIFYING: one generation round for the active set."""
+        contribution = self.begin_generation_round()
+        gen_result = contribution.round.run(contribution.jobs)
+        self.finish_generation_round(gen_result)
+
+    def begin_generation_round(self, occupancy: int = 1) -> RoundContribution:
+        """Prepare this session's next generation round without running it.
+
+        Plans the active beams' steps, schedules the jobs, swaps the
+        generator in (under an offloading plan), and returns the round
+        executor plus its jobs as a :class:`RoundContribution`. With
+        ``occupancy > 1`` the generator worker amortizes its weight reads
+        across that many co-batched sessions for the duration of the
+        round (reset by :meth:`finish_generation_round`); at the default
+        of 1 the whole begin/run/finish sequence is byte-identical to the
+        former monolithic generate step.
+        """
+        if self._state is not SessionState.GENERATING:
+            raise SchedulingError(
+                f"cannot begin a generation round for {self._session_id} in "
+                f"state {self._state.value}"
+            )
         server = self._server
         cfg = server.config
-        problem, algorithm = self._problem, self._algorithm
+        algorithm = self._algorithm
         round_idx = self._round_idx
 
         plans = {
@@ -577,6 +624,8 @@ class SolveSession:
         jobs = self._schedule(jobs, round_idx, "gen")
 
         self._swap_to("generator")
+        self._gen_worker.batch_share = occupancy
+        self._plans = plans
         gen_round = GenerationRound(
             worker=self._gen_worker,
             slot_budget=self._slot_budget,
@@ -588,9 +637,31 @@ class SolveSession:
             preempt_check=self._preempt_check(),
             spec_bandwidth_fraction=cfg.spec_bandwidth_fraction,
         )
-        gen_result = gen_round.run(jobs)
+        return RoundContribution(round=gen_round, jobs=jobs)
+
+    def finish_generation_round(self, gen_result) -> None:
+        """Account a completed generation round and advance to VERIFYING.
+
+        Counterpart of :meth:`begin_generation_round`; the caller (the
+        session's own step, or the fleet's round batcher) passes the
+        :class:`~repro.core.generation_round.GenerationRoundResult` the
+        contributed round produced.
+        """
+        if self._state is not SessionState.GENERATING:
+            raise SchedulingError(
+                f"cannot finish a generation round for {self._session_id} in "
+                f"state {self._state.value}"
+            )
+        cfg = self._server.config
+        round_idx = self._round_idx
+        self._gen_worker.batch_share = 1
         self._counters.recomputed += gen_result.stats.recomputed_tokens
         self._counters.committed += gen_result.stats.decoded_tokens
+        if (
+            self._first_token_s is None
+            and gen_result.stats.first_token_time is not None
+        ):
+            self._first_token_s = gen_result.stats.first_token_time
         if self._trace is not None:
             self._trace.record(
                 self._clock.now, "generation_round", round_idx,
@@ -607,12 +678,34 @@ class SolveSession:
             self._gen_cache.evict_all(now=self._clock.now)
 
         for path in self._active:
-            step = plans[path.lineage]
+            step = self._plans[path.lineage]
             path.record_step(step.n_tokens, step.soundness)
 
-        self._plans = plans
         self._gen_result = gen_result
         self._state = SessionState.VERIFYING
+
+    def step_verification(self, occupancy: int = 1) -> SessionState:
+        """One VERIFYING step with verifier weight reads amortized.
+
+        The round batcher's verify phase: same transition as a plain
+        ``step()`` from VERIFYING, but the verifier's prefill launches
+        bill this session only ``1/occupancy`` of the weight traffic —
+        co-batched sessions' scoring passes share one weight read, just
+        as generation rounds share theirs.
+        """
+        if self._state is not SessionState.VERIFYING:
+            raise SchedulingError(
+                f"cannot run a verification step for {self._session_id} in "
+                f"state {self._state.value}"
+            )
+        if self._ver_worker is not None:
+            self._ver_worker.batch_share = occupancy
+        try:
+            self._step_verify()
+        finally:
+            if self._ver_worker is not None:
+                self._ver_worker.batch_share = 1
+        return self._state
 
     def _step_verify(self) -> None:
         """VERIFYING → GENERATING | FINALIZING: verify, collect, select."""

@@ -124,3 +124,7 @@ class RoundStats:
     cache_hit_tokens: int = 0
     evicted_segments: int = 0
     head_starts: list[SpecHeadStart] = field(default_factory=list)
+    #: Clock time (on the round's worker clock) at which the round's first
+    #: decoded token materialized; None when the round decoded nothing.
+    #: The fleet's TTFT metric reads this off a session's first round.
+    first_token_time: float | None = None

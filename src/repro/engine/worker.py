@@ -45,6 +45,34 @@ class ModelWorker:
         self._clock = clock
         self._timer = phase_timer
         self._util = utilization
+        self._batch_share = 1
+
+    @property
+    def batch_share(self) -> int:
+        """How many co-batched sessions share this worker's weight reads.
+
+        The fleet's :class:`~repro.core.batcher.RoundBatcher` sets this
+        for the duration of one jointly-costed round: every decode step
+        and prefill launch then bills this session only ``1/batch_share``
+        of the weight traffic (the batch reads the weights once for all
+        members). At the default of 1 every launch goes through the plain
+        roofline, byte-identical to unbatched serving.
+        """
+        return self._batch_share
+
+    @batch_share.setter
+    def batch_share(self, value: int) -> None:
+        if not isinstance(value, int) or value < 1:
+            raise ValueError("batch_share must be an integer >= 1")
+        self._batch_share = value
+
+    def _launch_latency(self, flops: float, num_bytes: float) -> float:
+        """Roofline latency of one launch, weight-amortized when co-batched."""
+        if self._batch_share > 1:
+            return self._roofline.batched_latency(
+                flops, num_bytes, self._model.weight_bytes, self._batch_share
+            )
+        return self._roofline.latency(flops, num_bytes)
 
     @property
     def model(self) -> ModelSpec:
@@ -105,7 +133,7 @@ class ModelWorker:
             cost = prefill_cost(self._model, 1, new_tokens, cached_prefix_len=cached)
             flops += cost.flops
             num_bytes += cost.bytes - self._model.weight_bytes
-        dt = self._roofline.latency(flops, num_bytes)
+        dt = self._launch_latency(flops, num_bytes)
         start = self._clock.now
         self._clock.advance(dt)
         self._timer.add(phase, dt)
@@ -147,7 +175,7 @@ class GeneratorWorker(ModelWorker):
         if busy_slots > capacity_slots:
             raise ValueError("busy_slots cannot exceed capacity_slots")
         cost = decode_step_cost(self._model, busy_slots, avg_cache_len)
-        dt = n_steps * self._roofline.latency(cost.flops, cost.bytes)
+        dt = n_steps * self._launch_latency(cost.flops, cost.bytes)
         start = self._clock.now
         self._clock.advance(dt)
         self._timer.add(Phase.GENERATION, dt)

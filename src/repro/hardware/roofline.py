@@ -87,3 +87,40 @@ class Roofline:
     def latency(self, flops: float, num_bytes: float) -> float:
         """Shorthand for ``point(...).latency``."""
         return self.point(flops, num_bytes).latency
+
+    def batched_point(
+        self,
+        flops: float,
+        num_bytes: float,
+        shared_bytes: float,
+        occupancy: int,
+    ) -> RooflinePoint:
+        """Cost one member of an ``occupancy``-wide co-scheduled batch step.
+
+        ``shared_bytes`` is traffic the whole batch issues once per step —
+        the weight read, for a decode or prefill launch — so each member
+        is billed its ``1/occupancy`` share of it, while the rest of
+        ``num_bytes`` (per-member KV reads and writes) and all FLOPs stay
+        fully charged. Summed over the members, a batch step therefore
+        reads the weights once and everything else in proportion to
+        occupancy — the continuous-batching amortization. ``occupancy=1``
+        degenerates to :meth:`point` exactly.
+        """
+        if occupancy < 1:
+            raise ValueError("occupancy must be >= 1")
+        if shared_bytes < 0:
+            raise ValueError("shared_bytes must be non-negative")
+        if occupancy == 1:
+            return self.point(flops, num_bytes)
+        shared = min(shared_bytes, num_bytes)
+        return self.point(flops, (num_bytes - shared) + shared / occupancy)
+
+    def batched_latency(
+        self,
+        flops: float,
+        num_bytes: float,
+        shared_bytes: float,
+        occupancy: int,
+    ) -> float:
+        """Shorthand for ``batched_point(...).latency``."""
+        return self.batched_point(flops, num_bytes, shared_bytes, occupancy).latency

@@ -66,6 +66,12 @@ class FleetRequestRecord:
     device_time_s: float | None = None
     device_id: str | None = None
     kv_swap_s: float = 0.0
+    #: Time to first token: arrival → first generated token on the fleet
+    #: timeline (None for rejected requests, or records predating TTFT).
+    ttft_s: float | None = None
+    #: Time per output token: mean generation-phase seconds per committed
+    #: token of the winning session (None when nothing was decoded).
+    tpot_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -82,6 +88,10 @@ class FleetRequestRecord:
             raise ValueError("device_time_s must be non-negative")
         if self.kv_swap_s < 0:
             raise ValueError("kv_swap_s must be non-negative")
+        if self.ttft_s is not None and self.ttft_s < 0:
+            raise ValueError("ttft_s must be non-negative")
+        if self.tpot_s is not None and self.tpot_s < 0:
+            raise ValueError("tpot_s must be non-negative")
 
     @property
     def queue_delay_s(self) -> float:
@@ -134,6 +144,15 @@ class FleetMetrics:
     devices: int = 1
     kv_shared_bytes: int = 0
     kv_dedup_ratio: float = 1.0
+    #: SLO metrics: arrival → first generated token, and mean
+    #: generation seconds per committed output token.
+    ttft_mean_s: float = 0.0
+    ttft_p95_s: float = 0.0
+    tpot_mean_s: float = 0.0
+    #: Mean members per batched generation iteration across the pool
+    #: (1.0 when no lane ran the round batcher).
+    batch_occupancy_mean: float = 1.0
+    batch_occupancy_peak: int = 1
 
     @classmethod
     def aggregate(
@@ -159,6 +178,8 @@ class FleetMetrics:
             raise ValueError("pool_size must be >= 1 when set")
         shared_bytes = 0
         dedup_ratio = 1.0
+        occupancy_mean = 1.0
+        occupancy_peak = 1
         if devices:
             shared_bytes = sum(d.kv_shared_bytes for d in devices)
             peak_resident = sum(d.kv_peak_resident_bytes for d in devices)
@@ -169,6 +190,14 @@ class FleetMetrics:
                     d.kv_dedup_ratio * d.kv_peak_resident_bytes for d in devices
                 )
                 dedup_ratio = logical / peak_resident
+            iterations = sum(d.batch_iterations for d in devices)
+            if iterations > 0:
+                occupancy_mean = (
+                    sum(d.batch_occupancy_mean * d.batch_iterations
+                        for d in devices)
+                    / iterations
+                )
+                occupancy_peak = max(d.batch_occupancy_peak for d in devices)
         accepted = [r for r in records if r.accepted]
         rejected = len(records) - len(accepted)
         makespan = max((r.finish_s for r in accepted), default=0.0)
@@ -179,6 +208,8 @@ class FleetMetrics:
         services = [r.device_seconds for r in accepted]
         # Sojourn time: arrival → finish, what an interactive user feels.
         sojourns = [r.finish_s - r.arrival_s for r in accepted]
+        ttfts = [r.ttft_s for r in accepted if r.ttft_s is not None]
+        tpots = [r.tpot_s for r in accepted if r.tpot_s is not None]
         busy = sum(services)
         # Busy fraction is normalized by pool size: N lanes offer N
         # device-seconds per wall second, so the ratio stays physical
@@ -207,6 +238,11 @@ class FleetMetrics:
             devices=pool_devices,
             kv_shared_bytes=shared_bytes,
             kv_dedup_ratio=dedup_ratio,
+            ttft_mean_s=(sum(ttfts) / len(ttfts)) if ttfts else 0.0,
+            ttft_p95_s=percentile(ttfts, 95.0) if ttfts else 0.0,
+            tpot_mean_s=(sum(tpots) / len(tpots)) if tpots else 0.0,
+            batch_occupancy_mean=occupancy_mean,
+            batch_occupancy_peak=occupancy_peak,
         )
 
     def summary_rows(self) -> list[list[object]]:
@@ -229,6 +265,10 @@ class FleetMetrics:
             ["kv swap s", round(self.kv_swap_s, 2)],
             ["kv shared MB", round(self.kv_shared_bytes / 1024**2, 2)],
             ["kv dedup ratio", round(self.kv_dedup_ratio, 3)],
+            ["ttft mean s", round(self.ttft_mean_s, 2)],
+            ["ttft p95 s", round(self.ttft_p95_s, 2)],
+            ["tpot s", round(self.tpot_mean_s, 4)],
+            ["batch occupancy", round(self.batch_occupancy_mean, 2)],
         ]
 
     def table(self, title: str | None = None) -> str:
@@ -262,6 +302,14 @@ class DeviceUtilization:
     kv_dedup_ratio: float = 1.0
     #: Peak physically resident KV bytes on the lane.
     kv_peak_resident_bytes: int = 0
+    #: Batched generation iterations the lane's round batcher launched
+    #: (0 with batching off).
+    batch_iterations: int = 0
+    #: Mean member sessions per batched generation iteration (1.0 when
+    #: the lane never batched).
+    batch_occupancy_mean: float = 1.0
+    #: Widest generation batch the lane ran.
+    batch_occupancy_peak: int = 1
 
     @classmethod
     def rollup(
@@ -296,6 +344,13 @@ class DeviceUtilization:
                     kv_shared_bytes=lane.ledger.peak_shared_bytes,
                     kv_dedup_ratio=lane.ledger.dedup_ratio,
                     kv_peak_resident_bytes=lane.ledger.peak_resident_bytes,
+                    batch_iterations=lane.batch_iterations,
+                    batch_occupancy_mean=(
+                        lane.batch_member_rounds / lane.batch_iterations
+                        if lane.batch_iterations > 0
+                        else 1.0
+                    ),
+                    batch_occupancy_peak=max(lane.batch_peak_occupancy, 1),
                 )
             )
         return tuple(rows)
@@ -318,12 +373,15 @@ def device_table(
             round(d.kv_swap_s, 2),
             round(d.kv_shared_bytes / 1024**2, 2),
             round(d.kv_dedup_ratio, 3),
+            round(d.batch_occupancy_mean, 2),
+            d.batch_occupancy_peak,
         ]
         for d in devices
     ]
     return render_table(
         ["device", "requests", "busy s", "busy frac",
-         "migr in", "migr out", "kv swap s", "kv shared MB", "dedup"],
+         "migr in", "migr out", "kv swap s", "kv shared MB", "dedup",
+         "occ mean", "occ peak"],
         rows,
         title=title,
     )
@@ -354,13 +412,14 @@ def compare_policies(
             round(m.cancelled_work_s, 2),
             round(m.kv_swap_s, 2),
             round(m.kv_dedup_ratio, 3),
+            round(m.ttft_mean_s, 2),
         ]
         for policy, m in metrics_by_policy.items()
     ]
     return render_table(
         ["scheduler", "done", "rej", "queue mean s", "queue p95 s",
          "latency mean s", "p95 sojourn s", "makespan s", "cancelled s",
-         "kv swap s", "kv dedup"],
+         "kv swap s", "kv dedup", "ttft s"],
         rows,
         title=title,
     )

@@ -1,0 +1,223 @@
+"""Continuous cross-session batching acceptance tests (ISSUE 6).
+
+Acceptance contract: with ``batching="continuous"`` on a single lane
+holding n >= 4 co-resident sessions, request throughput strictly
+improves AND mean TTFT strictly drops versus ``batching="off"`` at
+identical final answers, and batch occupancy > 1 surfaces in both the
+fleet metrics and the per-device rollup. ``batching="off"`` stays
+byte-identical to the default run-to-completion path, and composing
+batching with PR 5's prefix KV sharing on same-problem traffic beats
+either feature alone on mean latency.
+"""
+
+import pytest
+
+from repro.core.config import ConfigError, baseline_config, fasttts_config
+from repro.core.fleet import TTSFleet, generate_arrivals
+from repro.core.pool import DevicePool, PooledDevice
+from repro.search.registry import build_algorithm
+from repro.workloads.datasets import build_dataset
+
+
+def answer_signature(report):
+    return {
+        rid: sorted((b.lineage, b.answer, b.correct, b.score) for b in res.beams)
+        for rid, res in report.results.items()
+    }
+
+
+def record_signature(report):
+    return [
+        (
+            r.request_id, r.arrival_s, r.start_s, r.finish_s,
+            r.accepted, r.reject_reason,
+            r.latency.to_json_dict() if r.latency else None,
+        )
+        for r in report.records
+    ]
+
+
+def burst_fleet(batching=None):
+    """Five sessions arriving ~1 request/s on one rtx4090 lane.
+
+    Run-to-completion serializes the queue, so every later arrival
+    waits out its predecessors' full solves; continuous batching
+    co-locates all five and amortizes the weight read per iteration.
+    ``batching=None`` omits the kwarg entirely to pin the default.
+    """
+    dataset = build_dataset("amc23", seed=0, size=5)
+    kwargs = {} if batching is None else {"batching": batching}
+    fleet = TTSFleet(
+        baseline_config(memory_fraction=0.4, seed=0), dataset,
+        scheduler="fifo", **kwargs,
+    )
+    arrivals = generate_arrivals(5, 1.0, seed=0)
+    fleet.submit_stream(
+        list(dataset), build_algorithm("beam_search", 4), arrivals
+    )
+    return fleet.drain()
+
+
+@pytest.fixture(scope="module")
+def burst_off():
+    return burst_fleet("off")
+
+
+@pytest.fixture(scope="module")
+def burst_continuous():
+    return burst_fleet("continuous")
+
+
+class TestAcceptance:
+    """Batching changes when work happens, never what gets computed."""
+
+    def test_throughput_strictly_improves(self, burst_off, burst_continuous):
+        assert (
+            burst_continuous.metrics.throughput_rps
+            > burst_off.metrics.throughput_rps
+        )
+
+    def test_mean_ttft_strictly_drops(self, burst_off, burst_continuous):
+        assert burst_off.metrics.ttft_mean_s > 0.0
+        assert (
+            burst_continuous.metrics.ttft_mean_s
+            < burst_off.metrics.ttft_mean_s
+        )
+
+    def test_answers_identical(self, burst_off, burst_continuous):
+        assert answer_signature(burst_continuous) == answer_signature(burst_off)
+
+    def test_occupancy_exceeds_one_in_metrics(self, burst_continuous):
+        m = burst_continuous.metrics
+        assert m.batch_occupancy_mean > 1.0
+        assert m.batch_occupancy_peak > 1
+
+    def test_occupancy_exceeds_one_in_device_rollup(self, burst_continuous):
+        lane = burst_continuous.devices[0]
+        assert lane.batch_iterations > 0
+        assert lane.batch_occupancy_mean > 1.0
+        assert lane.batch_occupancy_peak > 1
+        assert "occ mean" in burst_continuous.device_table()
+
+    def test_off_lane_reports_unit_occupancy(self, burst_off):
+        assert burst_off.metrics.batch_occupancy_mean == 1.0
+        assert burst_off.metrics.batch_occupancy_peak == 1
+        assert burst_off.devices[0].batch_iterations == 0
+
+    def test_mode_surfaces_on_report(self, burst_off, burst_continuous):
+        assert burst_off.batching == "off"
+        assert burst_continuous.batching == "continuous"
+
+    def test_slo_metrics_populated(self, burst_off, burst_continuous):
+        for report in (burst_off, burst_continuous):
+            accepted = [r for r in report.records if r.accepted]
+            assert accepted
+            for rec in accepted:
+                assert rec.ttft_s is not None and rec.ttft_s >= 0.0
+                assert rec.tpot_s is not None and rec.tpot_s > 0.0
+            assert report.metrics.tpot_mean_s > 0.0
+            assert "ttft mean s" in report.table()
+
+
+class TestOffIsTheDefault:
+    """Omitting ``batching`` must reproduce ``batching="off"`` exactly —
+    same records, same beams, down to every float."""
+
+    def test_default_matches_explicit_off(self, burst_off):
+        default = burst_fleet()
+        assert default.batching == "off"
+        assert record_signature(default) == record_signature(burst_off)
+        assert {
+            rid: res.to_json_dict() for rid, res in sorted(default.results.items())
+        } == {
+            rid: res.to_json_dict() for rid, res in sorted(burst_off.results.items())
+        }
+
+
+class TestComposition:
+    """PR 5 + PR 6: prefix sharing and continuous batching compose.
+
+    Same-problem traffic at memory_fraction 0.34 thrashes the ledger
+    when every co-resident session is billed its full footprint; dedup
+    removes the swap, batching removes the serialized weight reads, and
+    together they beat either alone on mean latency — at identical
+    answers in all four cells.
+    """
+
+    @staticmethod
+    def run(kv_sharing, batching):
+        dataset = build_dataset("amc23", seed=0, size=2)
+        config = fasttts_config(memory_fraction=0.34, seed=0)
+        fleet = TTSFleet(
+            config, dataset, scheduler="round_robin",
+            kv_sharing=kv_sharing, batching=batching,
+        )
+        problem = list(dataset)[0]
+        for i in range(3):
+            fleet.submit(problem, build_algorithm("beam_search", 16), float(i))
+        return fleet.drain()
+
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return {
+            (batching, sharing): self.run(sharing, batching)
+            for batching in ("off", "continuous")
+            for sharing in ("off", "prefix")
+        }
+
+    def test_both_beats_either_alone(self, matrix):
+        neither = matrix[("off", "off")].metrics.latency_mean_s
+        sharing_only = matrix[("off", "prefix")].metrics.latency_mean_s
+        batching_only = matrix[("continuous", "off")].metrics.latency_mean_s
+        both = matrix[("continuous", "prefix")].metrics.latency_mean_s
+        assert both < batching_only < neither
+        assert both < sharing_only < neither
+
+    def test_sharing_still_cuts_swap_under_batching(self, matrix):
+        assert (
+            matrix[("continuous", "prefix")].metrics.kv_swap_s
+            < matrix[("continuous", "off")].metrics.kv_swap_s
+        )
+        assert matrix[("continuous", "prefix")].metrics.kv_dedup_ratio > 1.0
+
+    def test_answers_identical_across_cells(self, matrix):
+        signatures = [answer_signature(r) for r in matrix.values()]
+        assert all(sig == signatures[0] for sig in signatures)
+
+
+class TestConfig:
+    @staticmethod
+    def any_dataset():
+        return build_dataset("amc23", seed=0, size=1)
+
+    def test_bad_batching_rejected(self):
+        with pytest.raises(ConfigError, match="batching"):
+            TTSFleet(
+                baseline_config(memory_fraction=0.4), self.any_dataset(),
+                batching="dynamic",
+            )
+
+    def test_prepared_pool_owns_its_batching_mode(self):
+        pool = DevicePool.build(
+            baseline_config(memory_fraction=0.4), self.any_dataset()
+        )
+        with pytest.raises(ConfigError, match="batching"):
+            TTSFleet(pool=pool, batching="continuous")
+
+    def test_pool_build_with_batching(self):
+        dataset = self.any_dataset()
+        pool = DevicePool.build(
+            baseline_config(memory_fraction=0.4), dataset,
+            batching="continuous",
+        )
+        assert all(lane.batching == "continuous" for lane in pool)
+        fleet = TTSFleet(pool=pool)
+        fleet.submit(list(dataset)[0], build_algorithm("best_of_n", 2), 0.0)
+        assert fleet.drain().batching == "continuous"
+
+    def test_pooled_device_validates_mode(self):
+        lane = DevicePool.build(
+            baseline_config(memory_fraction=0.4), self.any_dataset()
+        )[0]
+        with pytest.raises(ConfigError, match="batching"):
+            PooledDevice(index=lane.index, server=lane.server, batching="chunked")

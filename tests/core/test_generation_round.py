@@ -231,6 +231,76 @@ class TestSpeculation:
             GenerationRound(make_worker(), slot_budget=2, speculation=True)
 
 
+class TestSlotChurn:
+    """Mid-burst slot turnover: frees, refills and stalls (ISSUE 6)."""
+
+    def test_mid_burst_free_and_refill(self):
+        """With fewer slots than jobs, every freed slot is refilled from
+        the waiting queue mid-round and every job still completes."""
+        worker = make_worker()
+        round_ = GenerationRound(worker, slot_budget=2)
+        lengths = [5, 80, 10, 15, 20]
+        result = round_.run([make_job(i, n) for i, n in enumerate(lengths)])
+        assert set(result.outcomes) == {(i,) for i in range(5)}
+        for i, n in enumerate(lengths):
+            assert result.outcomes[(i,)].tokens_generated == n
+        for span in worker._util.spans:
+            assert span.busy_slots <= 2
+        # Jobs 2..4 only run in slots freed mid-burst, so each must start
+        # strictly inside the round, not at t=0 with the first wave.
+        finishes = sorted(result.outcomes[(i,)].finish_time for i in range(5))
+        assert finishes[0] < finishes[-1]
+        assert result.outcomes[(4,)].finish_time < result.outcomes[(1,)].finish_time
+
+    def test_stuck_batch_raises_scheduling_error(self):
+        """A waiting beam that can never be admitted must raise, not spin."""
+        worker = make_worker(capacity_tokens=96)  # prompt barely fits
+        round_ = GenerationRound(worker, slot_budget=4)
+        with pytest.raises(SchedulingError, match="stalled"):
+            round_.run([make_job(i, 500) for i in range(3)])
+
+    def test_first_token_time_recorded(self):
+        result = GenerationRound(make_worker(), slot_budget=4).run(
+            [make_job(0, 10), make_job(1, 30)]
+        )
+        assert result.stats.first_token_time is not None
+        assert 0.0 < result.stats.first_token_time <= result.stats.round_time
+
+    def test_empty_round_has_no_first_token(self):
+        result = GenerationRound(make_worker(), slot_budget=4).run([])
+        assert result.stats.first_token_time is None
+
+
+class TestAdmissionOrderDeterminism:
+    """Batched prefill charging must not depend on admission order: the
+    same job set reordered yields the same round time and token counts."""
+
+    LENGTHS = [12, 47, 23, 8, 31, 19]
+
+    def run_order(self, order):
+        jobs = [make_job(i, self.LENGTHS[i]) for i in order]
+        return GenerationRound(make_worker(), slot_budget=8).run(jobs)
+
+    def test_reordered_admission_identical_round(self):
+        forward = self.run_order(range(6))
+        shuffled = self.run_order([3, 0, 5, 1, 4, 2])
+        assert shuffled.stats.round_time == forward.stats.round_time
+        assert shuffled.stats.decoded_tokens == forward.stats.decoded_tokens
+        assert shuffled.stats.prefilled_tokens == forward.stats.prefilled_tokens
+        assert shuffled.stats.first_token_time == forward.stats.first_token_time
+        for lineage, outcome in forward.outcomes.items():
+            assert (
+                shuffled.outcomes[lineage].tokens_generated
+                == outcome.tokens_generated
+            )
+
+    def test_reversed_admission_identical_round(self):
+        forward = self.run_order(range(6))
+        reverse = self.run_order(reversed(range(6)))
+        assert reverse.stats.round_time == forward.stats.round_time
+        assert reverse.stats.decoded_tokens == forward.stats.decoded_tokens
+
+
 class TestAlgorithmicEquivalence:
     def test_outcome_tokens_independent_of_speculation(self):
         """Speculation changes timing, never the generated step lengths."""

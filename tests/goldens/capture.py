@@ -11,8 +11,9 @@ refactors of the solve loop (e.g. the SolveSession state machine, the
 DevicePool fleet redesign) can assert byte-identity against the original
 monolithic implementation. ``--filter`` regenerates a named subset
 (``solve``, ``fleet``, ``sharing`` — the fleet runs with ``--kv-sharing
-off`` spelled out) instead of everything — handy when one golden family
-legitimately changed and the others must provably not.
+off`` spelled out, ``batching`` — same with ``--batching off``) instead
+of everything — handy when one golden family legitimately changed and
+the others must provably not.
 """
 
 from __future__ import annotations
@@ -77,7 +78,7 @@ def _record_dict(record) -> dict:
     }
 
 
-def capture_fleet(kv_sharing: str = "off") -> dict:
+def capture_fleet(kv_sharing: str = "off", batching: str = "off") -> dict:
     runs = {}
     for label, rate, max_in_flight in (
         ("open-slow", 0.005, None),
@@ -87,7 +88,8 @@ def capture_fleet(kv_sharing: str = "off") -> dict:
         dataset = build_dataset("amc23", seed=FLEET_SEED, size=5)
         config = baseline_config(memory_fraction=0.4, seed=FLEET_SEED)
         fleet = TTSFleet(
-            config, dataset, max_in_flight=max_in_flight, kv_sharing=kv_sharing
+            config, dataset, max_in_flight=max_in_flight,
+            kv_sharing=kv_sharing, batching=batching,
         )
         arrivals = generate_arrivals(len(dataset), rate, seed=FLEET_SEED)
         fleet.submit_stream(list(dataset), build_algorithm("beam_search", 4), arrivals)
@@ -112,11 +114,23 @@ def capture_sharing() -> dict:
     return capture_fleet(kv_sharing="off")
 
 
+def capture_batching() -> dict:
+    """The fleet goldens again, with ``batching="off"`` spelled out.
+
+    Same contract as ``sharing``: the explicit run-to-completion path
+    must stay byte-identical to the default fleet golden, so
+    regenerating this subset and diffing is the CI assertion that
+    ``--batching off`` never drifts.
+    """
+    return capture_fleet(batching="off")
+
+
 # golden family name -> (output file, capture function)
 GOLDENS = {
     "solve": ("solve_goldens.json", capture_solves),
     "fleet": ("fleet_fifo_goldens.json", capture_fleet),
     "sharing": ("fleet_fifo_goldens.json", capture_sharing),
+    "batching": ("fleet_fifo_goldens.json", capture_batching),
 }
 
 
@@ -132,10 +146,14 @@ def main(argv: list[str] | None = None) -> None:
              f"one of: {', '.join(sorted(GOLDENS))}; default: all)",
     )
     args = parser.parse_args(argv)
-    # "sharing" is an assertion-only subset (byte-for-byte the fleet
-    # family with the dedup-off ledger spelled out); the default run
-    # skips it so the fleet simulation is not executed twice.
-    selected = args.filter if args.filter else sorted(set(GOLDENS) - {"sharing"})
+    # "sharing" and "batching" are assertion-only subsets (byte-for-byte
+    # the fleet family with the dedup-off ledger / run-to-completion
+    # path spelled out); the default run skips them so the fleet
+    # simulation is not executed three times.
+    selected = (
+        args.filter if args.filter
+        else sorted(set(GOLDENS) - {"sharing", "batching"})
+    )
     for name in selected:
         filename, capture = GOLDENS[name]
         (HERE / filename).write_text(
