@@ -31,9 +31,10 @@ import time
 from pathlib import Path
 
 from repro.core.config import baseline_config, fasttts_config
-from repro.core.fleet import TTSFleet, generate_arrivals
+from repro.core.fleet import TTSFleet, generate_arrivals, run_trace
 from repro.search.registry import build_algorithm
 from repro.workloads.datasets import build_dataset
+from repro.workloads.tenants import TenantSpec, generate_trace
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -94,12 +95,67 @@ def run_scenario(name, config_factory, scheduler, kv_sharing, batching,
     }
 
 
+def run_openloop_scenario(requests, late_policy):
+    """Open-loop overload: a 1k+-request trace arriving ~4x faster than
+    one lane can serve it, so queues build and deadlines expire. Tracks
+    the same simulator-cost axes as the closed-loop scenarios plus the
+    SLO headline numbers."""
+    per_tenant = requests // 2
+    tenants = [
+        TenantSpec.parse(
+            f"chat:arrival=poisson,rate=0.3,n=1,deadline=60,ttft=30,"
+            f"requests={per_tenant}"
+        ),
+        TenantSpec.parse(
+            f"batch:arrival=bursty,rate=0.15,n=1,deadline=240,"
+            f"requests={requests - per_tenant}"
+        ),
+    ]
+    trace = generate_trace(tenants, seed=0, base_dataset="amc23")
+    wall_start = time.perf_counter()
+    report = run_trace(
+        trace, baseline_config(memory_fraction=0.4, seed=0),
+        late_policy=late_policy,
+    )
+    wall_s = time.perf_counter() - wall_start
+    m = report.metrics
+    slo = report.slo_summary()
+    return {
+        "scenario": f"openloop_{late_policy}",
+        "scheduler": "fifo",
+        "late_policy": late_policy,
+        "requests": requests,
+        "wall_s": round(wall_s, 3),
+        "sim_makespan_s": round(m.makespan_s, 3),
+        "sim_seconds_per_wall_second": (
+            round(m.makespan_s / wall_s, 1) if wall_s > 0 else None
+        ),
+        "sessions_per_sec": (
+            round(m.completed / wall_s, 2) if wall_s > 0 else None
+        ),
+        "peak_rss_mib": peak_rss_mib(),
+        "slo": {
+            "completed": slo.completed,
+            "dropped": slo.dropped,
+            "slo_attainment": (
+                round(slo.slo_attainment, 4)
+                if slo.slo_attainment is not None else None
+            ),
+            "goodput_under_deadline_rps": round(slo.goodput_ud_rps, 4),
+            "queue_depth_peak": slo.queue_depth_peak,
+            "overload_fraction": round(slo.overload_fraction, 4),
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=5,
                         help="open-arrival requests per scenario")
     parser.add_argument("--rate", type=float, default=1.0,
                         help="mean arrival rate (req/s, simulated)")
+    parser.add_argument("--openloop-requests", type=int, default=1000,
+                        help="trace size for the open-loop overload scenarios")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_fleet.json"),
                         help="output path, or '-' for stdout")
     args = parser.parse_args(argv)
@@ -114,6 +170,17 @@ def main(argv=None) -> int:
             f"sim/wall={result['sim_seconds_per_wall_second']}x "
             f"sessions/s={result['sessions_per_sec']} "
             f"rss={result['peak_rss_mib']}MiB",
+            file=sys.stderr,
+        )
+    for late_policy in ("serve_late", "drop"):
+        result = run_openloop_scenario(args.openloop_requests, late_policy)
+        results.append(result)
+        print(
+            f"{result['scenario']:24s} wall={result['wall_s']:7.3f}s "
+            f"sim/wall={result['sim_seconds_per_wall_second']}x "
+            f"sessions/s={result['sessions_per_sec']} "
+            f"rss={result['peak_rss_mib']}MiB "
+            f"slo={result['slo']['slo_attainment']}",
             file=sys.stderr,
         )
 

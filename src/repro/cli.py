@@ -28,6 +28,21 @@ Commands
     jointly-costed batches per lane — weight reads amortize across the
     batch and the report gains TTFT/TPOT and occupancy rows (``off``
     time-slices one session per round, byte-identical to the goldens).
+``trace``
+    Open-loop trace-driven serving. ``trace generate`` synthesizes a
+    multi-tenant arrival trace (``--tenant
+    "chat:arrival=poisson,rate=0.05,deadline=300,ttft=60"`` — arrival
+    processes ``poisson``/``diurnal``/``bursty``, per-tenant dataset,
+    difficulty mix, search budget and SLO targets) and writes replayable
+    JSONL; ``trace run`` generates and serves it in one step; ``trace
+    replay`` serves a trace file byte-identically to the run that wrote
+    it. Requests arrive at their trace timestamps regardless of capacity
+    — queues build and deadlines expire; ``--late-policy drop`` sheds
+    queued requests at deadline expiry, ``serve_late`` (default) serves
+    them anyway and lets SLO attainment take the hit. Reports add SLO
+    attainment, goodput-under-deadline, queue-depth/overload stats, and
+    a per-tenant table; all ``fleet`` axes (scheduler, devices,
+    placement, kv-sharing, batching, oversubscription) apply.
 ``schedulers``
     List the registered request-scheduling and placement policies.
 ``devices``
@@ -46,12 +61,16 @@ import sys
 from repro.analysis.reports import deployment_report
 from repro.analysis.straggler import idle_fraction
 from repro.core.config import baseline_config, fasttts_config
-from repro.core.fleet import TTSFleet, generate_arrivals
+from repro.core.fleet import TTSFleet, generate_arrivals, run_trace
 from repro.core.pool import list_placements, placement_descriptions
 from repro.core.scheduler import list_schedulers, scheduler_descriptions
 from repro.core.server import TTSServer
+from repro.errors import ConfigError
 from repro.metrics.fleet import compare_policies
 from repro.utils.suggest import did_you_mean
+from repro.workloads.arrivals import arrival_descriptions
+from repro.workloads.tenants import TenantSpec, generate_trace
+from repro.workloads.trace import Trace
 from repro.experiments.parallel import (
     ParallelOrchestrator,
     ResultCache,
@@ -246,6 +265,118 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Tenants used when ``trace generate``/``trace run`` get no ``--tenant``:
+#: a latency-sensitive interactive stream plus a bursty batch backfill.
+_DEFAULT_TENANTS = (
+    "chat:arrival=poisson,rate=0.02,deadline=300,ttft=120",
+    "batch:arrival=bursty,rate=0.01,deadline=1200,slo=batch",
+)
+
+
+def _trace_from_args(args: argparse.Namespace) -> Trace:
+    """Build a trace from ``--tenant`` specs (raises ConfigError)."""
+    if args.requests < 1:
+        raise ConfigError(f"--requests must be >= 1, got {args.requests}")
+    specs = list(args.tenant) if args.tenant else list(_DEFAULT_TENANTS)
+    tenants = [TenantSpec.parse(spec) for spec in specs]
+    return generate_trace(
+        tenants,
+        seed=args.seed,
+        default_requests=args.requests,
+        base_dataset=args.base_dataset,
+    )
+
+
+def _print_trace_summary(trace: Trace) -> None:
+    per_tenant: dict[str, int] = {}
+    for request in trace.requests:
+        per_tenant[request.tenant] = per_tenant.get(request.tenant, 0) + 1
+    rows = [[name, count] for name, count in sorted(per_tenant.items())]
+    print(render_table(
+        ["tenant", "requests"], rows,
+        title=(f"trace: {len(trace.requests)} requests | seed {trace.seed} "
+               f"| horizon {trace.horizon_s:.0f}s "
+               f"| base dataset {trace.base_dataset}"),
+    ))
+
+
+def _serve_trace(trace: Trace, args: argparse.Namespace) -> int:
+    """Replay ``trace`` through the open-loop fleet and print SLO tables."""
+    if args.max_in_flight is not None and args.max_in_flight < 1:
+        print(
+            f"error: --max-in-flight must be >= 1, got {args.max_in_flight}",
+            file=sys.stderr,
+        )
+        return 2
+    device_names, device_error = _parse_device_list(args.devices)
+    if device_error is not None:
+        print(f"error: {device_error}", file=sys.stderr)
+        return 2
+    factory = fasttts_config if args.system == "fasttts" else baseline_config
+    config = factory(
+        device_name=(device_names[0] if device_names else args.device),
+        model_config=args.config,
+        memory_fraction=args.memory_fraction,
+        seed=trace.seed,
+    )
+    report = run_trace(
+        trace, config,
+        scheduler=args.scheduler,
+        placement=args.placement,
+        devices=device_names,
+        oversubscription=args.oversubscription,
+        kv_sharing=args.kv_sharing,
+        batching=args.batching,
+        late_policy=args.late_policy,
+        max_in_flight=args.max_in_flight,
+    )
+    device_label = ",".join(device_names) if device_names else args.device
+    workload = (f"{len(trace.requests)} requests / {len(trace.tenants)} tenants "
+                f"over {trace.horizon_s:.0f}s | {args.system} {args.config} "
+                f"on {device_label} | late-policy {args.late_policy}")
+    print(report.table(title=f"trace [{args.scheduler}]: {workload}"))
+    if device_names is not None and len(device_names) > 1:
+        print(report.device_table(title="per-device utilization"))
+    print(report.tenant_table(title="per-tenant SLOs"))
+    print(report.slo_summary().table(title="fleet SLO summary"))
+    for record in report.records:
+        if record.dropped:
+            print(f"dropped {record.request_id}: {record.reject_reason}")
+        elif not record.accepted:
+            print(f"rejected {record.request_id}: {record.reject_reason}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "generate":
+        try:
+            trace = _trace_from_args(args)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        trace.save(args.out)
+        _print_trace_summary(trace)
+        print(f"wrote {args.out}")
+        return 0
+    if args.trace_command == "replay":
+        try:
+            trace = Trace.load(args.trace)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _serve_trace(trace, args)
+    # run: generate + serve in one step
+    try:
+        trace = _trace_from_args(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out is not None:
+        trace.save(args.out)
+        print(f"wrote {args.out}")
+    return _serve_trace(trace, args)
+
+
 def _cmd_schedulers(args: argparse.Namespace) -> int:
     rows = [[name, desc] for name, desc in scheduler_descriptions().items()]
     print(render_table(["scheduler", "policy"], rows,
@@ -388,6 +519,77 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--memory-fraction", type=float, default=0.4)
     fleet.add_argument("--seed", type=int, default=0)
 
+    trace = sub.add_parser(
+        "trace", help="open-loop trace-driven serving with SLO metrics"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    arrival_help = "; ".join(
+        f"{name}: {desc}" for name, desc in arrival_descriptions().items()
+    )
+
+    def add_workload_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tenant", action="append", metavar="SPEC",
+                       help="tenant spec 'name:key=value,...' (repeatable); "
+                            "keys: arrival, rate, peak_rate, period, "
+                            "burst_rate, on_s, off_s, dataset, difficulty, "
+                            "algorithm, n, deadline, ttft, slo, requests. "
+                            f"Arrival processes — {arrival_help}")
+        p.add_argument("--requests", type=int, default=8,
+                       help="requests per tenant unless the spec overrides")
+        p.add_argument("--base-dataset", default=None, choices=list_datasets(),
+                       help="dataset whose step-length dynamics the serving "
+                            "fleet uses (default: first tenant's dataset)")
+        p.add_argument("--seed", type=int, default=0)
+
+    def add_serve_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--config", default="1.5B+1.5B")
+        p.add_argument("--device", default="rtx4090", choices=list_devices())
+        p.add_argument("--devices", default=None, metavar="NAME[,NAME...]",
+                       help="comma-separated device pool (overrides --device)")
+        p.add_argument("--system", choices=("baseline", "fasttts"),
+                       default="fasttts")
+        p.add_argument("--scheduler", choices=list_schedulers(),
+                       default="fifo")
+        p.add_argument("--placement", choices=list_placements(),
+                       default="first_fit")
+        p.add_argument("--oversubscription", choices=("swap", "deny"),
+                       default="swap")
+        p.add_argument("--kv-sharing", choices=("off", "prefix"),
+                       default="off", dest="kv_sharing")
+        p.add_argument("--batching", choices=("off", "continuous"),
+                       default="off")
+        p.add_argument("--late-policy", choices=("serve_late", "drop"),
+                       default="serve_late", dest="late_policy",
+                       help="what happens when a queued request's deadline "
+                            "expires before it starts: serve it anyway "
+                            "(serve_late) or shed it (drop)")
+        p.add_argument("--max-in-flight", type=int, default=None,
+                       help="admission-control cap on queued+running requests")
+        p.add_argument("--memory-fraction", type=float, default=0.4)
+
+    trace_generate = trace_sub.add_parser(
+        "generate", help="synthesize a multi-tenant trace and write JSONL"
+    )
+    add_workload_flags(trace_generate)
+    trace_generate.add_argument("--out", required=True, metavar="PATH",
+                                help="JSONL trace file to write")
+
+    trace_run = trace_sub.add_parser(
+        "run", help="generate a trace and serve it open-loop in one step"
+    )
+    add_workload_flags(trace_run)
+    add_serve_flags(trace_run)
+    trace_run.add_argument("--out", default=None, metavar="PATH",
+                           help="also save the generated trace as JSONL")
+
+    trace_replay = trace_sub.add_parser(
+        "replay", help="serve a previously generated JSONL trace"
+    )
+    trace_replay.add_argument("--trace", required=True, metavar="PATH",
+                              help="JSONL trace file to replay")
+    add_serve_flags(trace_replay)
+
     sub.add_parser("schedulers",
                    help="list request-scheduling and placement policies")
 
@@ -411,6 +613,7 @@ _HANDLERS = {
     "solve": _cmd_solve,
     "sweep": _cmd_sweep,
     "fleet": _cmd_fleet,
+    "trace": _cmd_trace,
     "schedulers": _cmd_schedulers,
     "devices": _cmd_devices,
     "report": _cmd_report,

@@ -73,7 +73,13 @@ from repro.search.base import SearchAlgorithm
 from repro.utils.rng import KeyedRng
 from repro.workloads.problem import Dataset, Problem
 
-__all__ = ["FleetRequest", "FleetReport", "TTSFleet", "generate_arrivals"]
+__all__ = [
+    "FleetRequest",
+    "FleetReport",
+    "TTSFleet",
+    "generate_arrivals",
+    "run_trace",
+]
 
 
 def generate_arrivals(
@@ -107,16 +113,30 @@ def generate_arrivals(
 
 @dataclass(frozen=True, slots=True)
 class FleetRequest:
-    """One queued solve: a problem, its search budget, and when it arrived."""
+    """One queued solve: a problem, its search budget, and when it arrived.
+
+    Open-loop trace requests additionally carry their latency contract —
+    ``deadline_s`` / ``ttft_slo_s`` relative to arrival — and traffic
+    provenance (``tenant``, ``slo_class``); closed-loop submissions leave
+    them ``None`` and behave exactly as before.
+    """
 
     request_id: str
     problem: Problem
     algorithm: SearchAlgorithm
     arrival_s: float
+    deadline_s: float | None = None
+    ttft_slo_s: float | None = None
+    tenant: str | None = None
+    slo_class: str | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
             raise ValueError("arrival_s must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
+        if self.ttft_slo_s is not None and self.ttft_slo_s <= 0:
+            raise ValueError("ttft_slo_s must be positive when set")
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,6 +150,7 @@ class FleetReport:
     devices: tuple[DeviceUtilization, ...] = ()
     kv_sharing: str = "off"
     batching: str = "off"
+    late_policy: str = "serve_late"
 
     @property
     def metrics(self) -> FleetMetrics:
@@ -146,6 +167,30 @@ class FleetReport:
         from repro.metrics.fleet import device_table
 
         return device_table(self.devices, title=title)
+
+    def _correct_by_request(self) -> dict[str, bool]:
+        return {rid: res.top1_correct for rid, res in self.results.items()}
+
+    def slo_summary(self):
+        """Fleet-wide SLO attainment / goodput-under-deadline rollup."""
+        from repro.metrics.fleet import SLOSummary
+
+        return SLOSummary.aggregate(
+            self.records,
+            self._correct_by_request(),
+            pool_size=len(self.devices) or None,
+        )
+
+    def tenant_slos(self):
+        """Per-tenant SLO rows (records without a tenant group under '-')."""
+        from repro.metrics.fleet import tenant_slo_rollup
+
+        return tenant_slo_rollup(self.records, self._correct_by_request())
+
+    def tenant_table(self, title: str | None = None) -> str:
+        from repro.metrics.fleet import tenant_table
+
+        return tenant_table(self.tenant_slos(), title=title)
 
 
 @dataclass(slots=True)
@@ -194,9 +239,14 @@ class TTSFleet:
         oversubscription: str = "swap",
         kv_sharing: str = "off",
         batching: str = "off",
+        late_policy: str = "serve_late",
     ) -> None:
         if max_in_flight is not None and max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1 when set")
+        if late_policy not in ("serve_late", "drop"):
+            raise ConfigError(
+                f"late_policy must be 'serve_late' or 'drop', got {late_policy!r}"
+            )
         if kv_sharing not in ("off", "prefix"):
             raise ConfigError(
                 f"kv_sharing must be 'off' or 'prefix', got {kv_sharing!r}"
@@ -238,6 +288,7 @@ class TTSFleet:
         self._pool = pool
         self._batcher = RoundBatcher()
         self._oversubscription = oversubscription
+        self._late_policy = late_policy
         self._max_in_flight = max_in_flight
         self._scheduler = (
             build_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
@@ -282,11 +333,19 @@ class TTSFleet:
     def pending(self) -> int:
         return len(self._queue)
 
+    @property
+    def late_policy(self) -> str:
+        return self._late_policy
+
     def submit(
         self,
         problem: Problem,
         algorithm: SearchAlgorithm,
         arrival_s: float = 0.0,
+        deadline_s: float | None = None,
+        ttft_slo_s: float | None = None,
+        tenant: str | None = None,
+        slo_class: str | None = None,
     ) -> str:
         """Queue one request; returns its fleet-assigned id."""
         request_id = f"req-{self._next_id:04d}"
@@ -297,6 +356,10 @@ class TTSFleet:
                 problem=problem,
                 algorithm=algorithm,
                 arrival_s=arrival_s,
+                deadline_s=deadline_s,
+                ttft_slo_s=ttft_slo_s,
+                tenant=tenant,
+                slo_class=slo_class,
             )
         )
         return request_id
@@ -445,6 +508,10 @@ class TTSFleet:
                     finish_s=request.arrival_s,
                     accepted=False,
                     reject_reason=reason,
+                    tenant=request.tenant,
+                    slo_class=request.slo_class,
+                    deadline_s=request.deadline_s,
+                    ttft_slo_s=request.ttft_slo_s,
                 )
             else:
                 device = self._scheduler.choose_device(
@@ -598,6 +665,10 @@ class TTSFleet:
                     if committed > 0
                     else None
                 ),
+                tenant=st.request.tenant,
+                slo_class=st.request.slo_class,
+                deadline_s=st.request.deadline_s,
+                ttft_slo_s=st.request.ttft_slo_s,
             )
             st.record = records[st.seq]
             results[st.request.request_id] = result
@@ -607,6 +678,64 @@ class TTSFleet:
                 (lane.index, st.request.algorithm.n)
             ]
             lane.requests_served += 1
+
+        def drop(st: _RequestState) -> None:
+            """Shed a still-queued request whose deadline expired.
+
+            The drop is stamped at the deadline expiry itself (arrival +
+            deadline), not at the lane-clock instant the sweep noticed it
+            — the record is a pure function of the request, independent
+            of how far the lane's clock had jumped past the deadline.
+            None of the request's sessions ever ran, so there is no
+            cancelled work to account; their ledger claims (if any) are
+            released like a settled race's losers.
+            """
+            request = st.request
+            lane = st.device
+            for h in st.handles:
+                if h.session.state.live:
+                    h.session.cancel()
+                lane.ledger.release(h.session.session_id)
+            records[st.seq] = FleetRequestRecord(
+                request_id=request.request_id,
+                arrival_s=request.arrival_s,
+                start_s=request.arrival_s,
+                finish_s=request.arrival_s + request.deadline_s,
+                accepted=False,
+                dropped=True,
+                reject_reason=(
+                    f"deadline expired after {request.deadline_s:g}s in queue "
+                    f"(late_policy=drop)"
+                ),
+                tenant=request.tenant,
+                slo_class=request.slo_class,
+                deadline_s=request.deadline_s,
+                ttft_slo_s=request.ttft_slo_s,
+            )
+            st.record = records[st.seq]
+            lane.live_requests -= 1
+            lane.planned_kv_bytes -= self._kv_claims[
+                (lane.index, request.algorithm.n)
+            ]
+
+        def drop_expired(lane: PooledDevice) -> bool:
+            """Open-loop shedding sweep: drop expired queued work on ``lane``.
+
+            Only requests whose service has not started are candidates —
+            once a request holds the device its lateness is the SLO
+            metrics' problem, not admission's. Returns True when anything
+            was dropped (the caller re-evaluates which lane acts next).
+            """
+            dropped_any = False
+            for st in list(states.values()):
+                if st.finished or st.start_s is not None or st.device is not lane:
+                    continue
+                if self._scheduler.drop_expired(
+                    st.request, lane.clock.now, self._late_policy
+                ):
+                    drop(st)
+                    dropped_any = True
+            return dropped_any
 
         while True:
             act = acting_lane()
@@ -618,6 +747,8 @@ class TTSFleet:
                 continue
             if act is None:
                 break
+            if self._late_policy == "drop" and drop_expired(act):
+                continue
 
             clock = act.clock
             if act.batching == "continuous":
@@ -685,4 +816,60 @@ class TTSFleet:
                 if any(lane.batching == "continuous" for lane in lanes)
                 else "off"
             ),
+            late_policy=self._late_policy,
         )
+
+
+def run_trace(
+    trace,
+    config: ServerConfig,
+    *,
+    scheduler: RequestScheduler | str = "fifo",
+    placement: PlacementPolicy | str = "first_fit",
+    devices: list[str] | None = None,
+    oversubscription: str = "swap",
+    kv_sharing: str = "off",
+    batching: str = "off",
+    late_policy: str = "serve_late",
+    max_in_flight: int | None = None,
+) -> FleetReport:
+    """Drive an open-loop :class:`~repro.workloads.trace.Trace` end to end.
+
+    Requests are submitted at their trace timestamps regardless of
+    capacity — queues build, deadlines expire, and ``late_policy``
+    decides whether expired queued requests are shed (``"drop"``) or
+    served anyway (``"serve_late"``). The serving dynamics (step-length
+    model, termination) come from the trace's ``base_dataset`` profile;
+    each request's *problem* is rebuilt from its own ``(dataset, seed,
+    index)`` coordinates, so a serialized trace replays byte-identically
+    to the in-memory one that produced it.
+    """
+    from repro.search.registry import build_algorithm
+    from repro.workloads.datasets import build_dataset
+    from repro.workloads.trace import materialize_problems
+
+    problems = materialize_problems(trace)
+    server_dataset = build_dataset(trace.base_dataset, seed=trace.seed)
+    fleet = TTSFleet(
+        config,
+        server_dataset,
+        max_in_flight=max_in_flight,
+        scheduler=scheduler,
+        placement=placement,
+        devices=devices,
+        oversubscription=oversubscription,
+        kv_sharing=kv_sharing,
+        batching=batching,
+        late_policy=late_policy,
+    )
+    for request in trace:
+        fleet.submit(
+            problems[request.request_id],
+            build_algorithm(request.algorithm, request.n),
+            arrival_s=request.arrival_s,
+            deadline_s=request.deadline_s,
+            ttft_slo_s=request.ttft_slo_s,
+            tenant=request.tenant,
+            slo_class=request.slo_class,
+        )
+    return fleet.drain()

@@ -187,6 +187,24 @@ class RequestScheduler(ABC):
             )
         ]
 
+    def drop_expired(
+        self, request: "FleetRequest", now: float, late_policy: str
+    ) -> bool:
+        """Deadline-aware admission hook: shed this still-queued request?
+
+        Consulted by the open-loop fleet driver whenever a request whose
+        service has not started is considered for the device: with
+        ``late_policy="drop"`` the default drops it once ``now`` passes
+        ``arrival_s + deadline_s`` (requests without a deadline, and the
+        ``"serve_late"`` policy, are never dropped). A policy that wants
+        tenant- or class-aware shedding (e.g. never drop a gold tenant)
+        overrides this; the decision must stay a deterministic function
+        of ``(request, now, late_policy)``.
+        """
+        if late_policy != "drop" or request.deadline_s is None:
+            return False
+        return now >= request.arrival_s + request.deadline_s
+
     @abstractmethod
     def pick(self, runnable: Sequence[SessionHandle], now: float) -> SessionHandle:
         """Choose which runnable session advances by one round."""

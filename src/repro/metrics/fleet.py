@@ -19,6 +19,15 @@ heterogeneous pool's imbalance is visible at a glance
 
 :func:`compare_policies` renders several fleet runs of the same workload
 under different :mod:`~repro.core.scheduler` policies side by side.
+
+Open-loop trace runs add the latency-bounded view ("Are We Scaling the
+Right Thing?"): requests carry deadlines and TTFT targets, so the same
+records aggregate into **SLO attainment** (fraction of requests meeting
+their targets — dropped and rejected requests count as misses),
+**goodput under deadline** (:class:`SLOSummary`, :class:`TenantSLO`:
+correct answers per second counting only in-deadline completions), and a
+:func:`queue_depth_series` of how many admitted requests were waiting at
+every instant — the overload picture a closed-loop run can never show.
 """
 
 from __future__ import annotations
@@ -34,8 +43,15 @@ __all__ = [
     "FleetRequestRecord",
     "FleetMetrics",
     "DeviceUtilization",
+    "TenantSLO",
+    "SLOSummary",
     "device_table",
     "compare_policies",
+    "tenant_slo_rollup",
+    "tenant_table",
+    "queue_depth_series",
+    "ttft_p95",
+    "latency_p95",
 ]
 
 
@@ -72,10 +88,28 @@ class FleetRequestRecord:
     #: Time per output token: mean generation-phase seconds per committed
     #: token of the winning session (None when nothing was decoded).
     tpot_s: float | None = None
+    #: Traffic provenance and latency contract (open-loop trace runs):
+    #: the tenant stream the request belongs to, its SLO class label, and
+    #: the deadline / TTFT targets relative to ``arrival_s`` (None when
+    #: the request carries no such target — closed-loop runs).
+    tenant: str | None = None
+    slo_class: str | None = None
+    deadline_s: float | None = None
+    ttft_slo_s: float | None = None
+    #: True when the open-loop driver shed this request because its
+    #: deadline expired while it was still queued (``late_policy="drop"``);
+    #: dropped requests also carry ``accepted=False``.
+    dropped: bool = False
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
             raise ValueError("arrival_s must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
+        if self.ttft_slo_s is not None and self.ttft_slo_s <= 0:
+            raise ValueError("ttft_slo_s must be positive when set")
+        if self.dropped and self.accepted:
+            raise ValueError("a dropped request cannot also be accepted")
         if self.accepted and self.start_s < self.arrival_s:
             raise ValueError("service cannot start before arrival")
         if self.accepted and self.finish_s < self.start_s:
@@ -120,6 +154,39 @@ class FleetRequestRecord:
         if self.device_time_s is not None:
             return self.device_time_s
         return self.service_s
+
+    @property
+    def sojourn_s(self) -> float:
+        """Arrival → finish on the fleet timeline (what the user feels)."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def deadline_met(self) -> bool | None:
+        """Did the request finish inside its deadline?
+
+        ``None`` when no deadline was set (closed-loop requests stay out
+        of SLO statistics). Dropped and rejected requests with a deadline
+        count as misses — an overloaded fleet does not get credit for the
+        work it shed.
+        """
+        if self.deadline_s is None:
+            return None
+        if not self.accepted:
+            return False
+        return self.sojourn_s <= self.deadline_s
+
+    @property
+    def ttft_slo_met(self) -> bool | None:
+        """Did the first token arrive inside the TTFT target?
+
+        ``None`` when no target was set; misses include dropped/rejected
+        requests and completions that never produced a token.
+        """
+        if self.ttft_slo_s is None:
+            return None
+        if not self.accepted or self.ttft_s is None:
+            return False
+        return self.ttft_s <= self.ttft_slo_s
 
 
 @dataclass(frozen=True, slots=True)
@@ -423,3 +490,294 @@ def compare_policies(
         rows,
         title=title,
     )
+
+
+# -- guarded percentile helpers -----------------------------------------
+
+
+def _guarded_p95(values: Sequence[float]) -> float | None:
+    """p95 of a sample that may be empty (None) or a singleton (itself).
+
+    An overloaded open-loop trace can legitimately drop *every* request,
+    leaving no latency samples at all — report ``None`` rather than
+    raising, and skip the interpolation machinery for one sample.
+    """
+    if not values:
+        return None
+    if len(values) == 1:
+        return float(values[0])
+    return percentile(values, 95.0)
+
+
+def ttft_p95(records: Sequence[FleetRequestRecord]) -> float | None:
+    """p95 TTFT over the records that produced a first token, else None."""
+    return _guarded_p95(
+        [r.ttft_s for r in records if r.accepted and r.ttft_s is not None]
+    )
+
+
+def latency_p95(records: Sequence[FleetRequestRecord]) -> float | None:
+    """p95 sojourn over the completed records, else None."""
+    return _guarded_p95([r.sojourn_s for r in records if r.accepted])
+
+
+# -- SLO attainment and goodput under deadline ---------------------------
+
+
+def _attainment(flags: Sequence[bool | None]) -> float | None:
+    """Fraction of non-None flags that are True; None without any target."""
+    judged = [f for f in flags if f is not None]
+    if not judged:
+        return None
+    return sum(judged) / len(judged)
+
+
+@dataclass(frozen=True, slots=True)
+class TenantSLO:
+    """One tenant's share of an open-loop run, judged against its SLOs.
+
+    ``slo_attainment`` / ``ttft_attainment`` are the fractions of the
+    tenant's requests that met their deadline / TTFT target (misses
+    include drops and rejections; ``None`` when the tenant set no such
+    target). ``goodput_ud_rps`` is goodput under deadline — *correct*
+    answers per second of the run's makespan, counting only completions
+    that beat their deadline (requests without a deadline count when
+    correct) — the latency-bounded metric test-time scaling systems
+    should be judged on.
+    """
+
+    tenant: str
+    requests: int
+    completed: int
+    dropped: int
+    rejected: int
+    slo_attainment: float | None
+    ttft_attainment: float | None
+    goodput_ud_rps: float
+    queue_delay_mean_s: float
+    ttft_p95_s: float | None
+    latency_p95_s: float | None
+
+    @classmethod
+    def aggregate(
+        cls,
+        tenant: str,
+        records: Sequence[FleetRequestRecord],
+        correct_by_request: Mapping[str, bool],
+        makespan_s: float,
+    ) -> "TenantSLO":
+        accepted = [r for r in records if r.accepted]
+        delays = [r.queue_delay_s for r in accepted]
+        in_deadline_correct = sum(
+            1
+            for r in accepted
+            if r.deadline_met is not False
+            and correct_by_request.get(r.request_id, False)
+        )
+        return cls(
+            tenant=tenant,
+            requests=len(records),
+            completed=len(accepted),
+            dropped=sum(r.dropped for r in records),
+            rejected=sum(not r.accepted and not r.dropped for r in records),
+            slo_attainment=_attainment([r.deadline_met for r in records]),
+            ttft_attainment=_attainment([r.ttft_slo_met for r in records]),
+            goodput_ud_rps=(
+                in_deadline_correct / makespan_s if makespan_s > 0 else 0.0
+            ),
+            queue_delay_mean_s=(sum(delays) / len(delays)) if delays else 0.0,
+            ttft_p95_s=ttft_p95(records),
+            latency_p95_s=latency_p95(records),
+        )
+
+
+def tenant_slo_rollup(
+    records: Sequence[FleetRequestRecord],
+    correct_by_request: Mapping[str, bool],
+) -> tuple[TenantSLO, ...]:
+    """Per-tenant SLO rows over one run's records, sorted by tenant name.
+
+    Records without a tenant label (closed-loop submissions) group under
+    ``"-"``. Every tenant's goodput is normalized by the same fleet-wide
+    makespan, so the rows add up to the fleet's goodput under deadline.
+    """
+    makespan = max((r.finish_s for r in records if r.accepted), default=0.0)
+    by_tenant: dict[str, list[FleetRequestRecord]] = {}
+    for record in records:
+        by_tenant.setdefault(record.tenant or "-", []).append(record)
+    return tuple(
+        TenantSLO.aggregate(tenant, rows, correct_by_request, makespan)
+        for tenant, rows in sorted(by_tenant.items())
+    )
+
+
+def _pct(value: float | None) -> object:
+    return "-" if value is None else f"{100.0 * value:.1f}%"
+
+
+def _opt(value: float | None, digits: int = 2) -> object:
+    return "-" if value is None else round(value, digits)
+
+
+def tenant_table(
+    slos: Sequence[TenantSLO], title: str | None = None
+) -> str:
+    """Side-by-side per-tenant SLO table (compare_policies-style)."""
+    if not slos:
+        raise ValueError("need at least one tenant to tabulate")
+    rows = [
+        [
+            s.tenant,
+            s.requests,
+            s.completed,
+            s.dropped,
+            s.rejected,
+            _pct(s.slo_attainment),
+            _pct(s.ttft_attainment),
+            round(s.goodput_ud_rps, 4),
+            round(s.queue_delay_mean_s, 2),
+            _opt(s.ttft_p95_s),
+            _opt(s.latency_p95_s),
+        ]
+        for s in slos
+    ]
+    return render_table(
+        ["tenant", "req", "done", "drop", "rej", "slo att", "ttft att",
+         "goodput/ddl", "queue mean s", "ttft p95 s", "p95 sojourn s"],
+        rows,
+        title=title,
+    )
+
+
+def queue_depth_series(
+    records: Sequence[FleetRequestRecord],
+) -> tuple[tuple[float, int], ...]:
+    """Step series ``(time, waiting)`` of admitted-but-unserved requests.
+
+    A request waits from its arrival until service starts (or until it is
+    dropped at deadline expiry); admission-rejected requests never enter
+    the queue. Ties resolve departures before arrivals, so the depth at a
+    shared timestamp is the post-transition value. The series is the
+    overload picture of an open-loop run: closed-loop drains keep it at
+    ~pool size, a 2x-oversubscribed trace grows it without bound.
+    """
+    events: list[tuple[float, int]] = []
+    for record in records:
+        if record.dropped:
+            events.append((record.arrival_s, +1))
+            events.append((record.finish_s, -1))
+        elif record.accepted:
+            events.append((record.arrival_s, +1))
+            events.append((record.start_s, -1))
+    events.sort()
+    series: list[tuple[float, int]] = []
+    depth = 0
+    for time, delta in events:
+        depth += delta
+        if series and series[-1][0] == time:
+            series[-1] = (time, depth)
+        else:
+            series.append((time, depth))
+    return tuple(series)
+
+
+def _depth_stats(
+    series: Sequence[tuple[float, int]], horizon_s: float, threshold: int
+) -> tuple[int, float, float]:
+    """(peak, time-weighted mean, fraction of horizon at >= threshold)."""
+    if not series or horizon_s <= 0:
+        return 0, 0.0, 0.0
+    peak = max(depth for _, depth in series)
+    weighted = 0.0
+    above = 0.0
+    for (t0, depth), (t1, _) in zip(series, series[1:]):
+        weighted += depth * (t1 - t0)
+        if depth >= threshold:
+            above += t1 - t0
+    tail = horizon_s - series[-1][0]
+    if tail > 0:
+        weighted += series[-1][1] * tail
+        if series[-1][1] >= threshold:
+            above += tail
+    return peak, weighted / horizon_s, above / horizon_s
+
+
+@dataclass(frozen=True, slots=True)
+class SLOSummary:
+    """Fleet-wide SLO view of one (typically open-loop) run.
+
+    ``overload_fraction`` is the fraction of the makespan with at least
+    ``devices`` requests waiting — sustained demand beyond what the pool
+    can start, the signature of an open-loop trace above the sustainable
+    rate.
+    """
+
+    requests: int
+    completed: int
+    dropped: int
+    rejected: int
+    slo_attainment: float | None
+    ttft_attainment: float | None
+    goodput_ud_rps: float
+    queue_depth_peak: int
+    queue_depth_mean: float
+    overload_fraction: float
+    makespan_s: float
+
+    @classmethod
+    def aggregate(
+        cls,
+        records: Sequence[FleetRequestRecord],
+        correct_by_request: Mapping[str, bool],
+        pool_size: int | None = None,
+    ) -> "SLOSummary":
+        if not records:
+            raise ValueError("cannot aggregate an empty fleet run")
+        accepted = [r for r in records if r.accepted]
+        makespan = max((r.finish_s for r in accepted), default=0.0)
+        if makespan == 0.0 and records:
+            # Every request shed: the run still spans until the last drop.
+            makespan = max(r.finish_s for r in records)
+        in_deadline_correct = sum(
+            1
+            for r in accepted
+            if r.deadline_met is not False
+            and correct_by_request.get(r.request_id, False)
+        )
+        series = queue_depth_series(records)
+        peak, mean, overload = _depth_stats(
+            series, makespan, max(1, pool_size or 1)
+        )
+        return cls(
+            requests=len(records),
+            completed=len(accepted),
+            dropped=sum(r.dropped for r in records),
+            rejected=sum(not r.accepted and not r.dropped for r in records),
+            slo_attainment=_attainment([r.deadline_met for r in records]),
+            ttft_attainment=_attainment([r.ttft_slo_met for r in records]),
+            goodput_ud_rps=(
+                in_deadline_correct / makespan if makespan > 0 else 0.0
+            ),
+            queue_depth_peak=peak,
+            queue_depth_mean=mean,
+            overload_fraction=overload,
+            makespan_s=makespan,
+        )
+
+    def summary_rows(self) -> list[list[object]]:
+        return [
+            ["requests", self.requests],
+            ["completed", self.completed],
+            ["dropped", self.dropped],
+            ["rejected", self.rejected],
+            ["slo attainment", _pct(self.slo_attainment)],
+            ["ttft attainment", _pct(self.ttft_attainment)],
+            ["goodput under deadline /s", round(self.goodput_ud_rps, 4)],
+            ["queue depth peak", self.queue_depth_peak],
+            ["queue depth mean", round(self.queue_depth_mean, 2)],
+            ["overload fraction", round(self.overload_fraction, 3)],
+            ["makespan s", round(self.makespan_s, 2)],
+        ]
+
+    def table(self, title: str | None = None) -> str:
+        return render_table(["metric", "value"], self.summary_rows(), title=title)

@@ -1,0 +1,235 @@
+"""Keyed-RNG arrival processes for open-loop trace generation.
+
+A trace-driven workload is only reproducible if its arrival times are a
+pure function of the seed — never of how many other tenants were
+generated first, or in what order. Every draw here is therefore addressed
+through :class:`~repro.utils.rng.KeyedRng` streams keyed by the draw's
+*position* in the process (gap index, candidate index, phase index), so
+two calls with the same root rng produce bit-identical times no matter
+what else was drawn in between.
+
+Three processes cover the serving literature's standard load shapes:
+
+``poisson``
+    Homogeneous Poisson arrivals at ``rate_rps`` — exponential
+    inter-arrival gaps, the memoryless baseline.
+``diurnal``
+    Non-homogeneous Poisson whose rate swings sinusoidally between
+    ``rate_rps`` (trough) and ``peak_rate_rps`` (peak) with period
+    ``period_s`` — the day/night cycle every production trace shows.
+    Realized by Lewis-Shedler thinning of a ``peak_rate_rps``
+    candidate stream, with one keyed acceptance draw per candidate.
+``bursty``
+    Markov-modulated on/off process: exponentially distributed "on"
+    phases (mean ``on_s``) at ``burst_rate_rps`` alternate with "off"
+    phases (mean ``off_s``) at the background ``rate_rps`` — flash
+    crowds and quiet tails, the overload shape SLO policies are
+    judged on.
+
+All processes are **count-based**: ``times(rng, count)`` returns exactly
+``count`` strictly increasing arrival times starting after t=0.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from math import pi, sin
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.utils.rng import KeyedRng
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "DiurnalProcess",
+    "BurstyProcess",
+    "build_arrival",
+    "list_arrivals",
+    "arrival_descriptions",
+]
+
+
+class ArrivalProcess(ABC):
+    """One tenant's arrival-time generator.
+
+    Subclasses draw exclusively through keyed streams of the ``rng``
+    handed to :meth:`times`, so the times depend only on the rng's root
+    seed and the process parameters.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+
+    @abstractmethod
+    def times(self, rng: KeyedRng, count: int) -> tuple[float, ...]:
+        """Exactly ``count`` strictly increasing arrival times."""
+
+    def _check_count(self, count: int) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class PoissonProcess(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate_rps``."""
+
+    rate_rps: float
+
+    name = "poisson"
+    description = "memoryless arrivals at a constant rate"
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ConfigError("poisson arrivals need rate_rps > 0")
+
+    def times(self, rng: KeyedRng, count: int) -> tuple[float, ...]:
+        self._check_count(count)
+        now, out = 0.0, []
+        for i in range(count):
+            gap = rng.stream("poisson-gap", i).exponential(1.0 / self.rate_rps)
+            now += float(gap)
+            out.append(now)
+        return tuple(out)
+
+
+@dataclass(frozen=True, slots=True)
+class DiurnalProcess(ArrivalProcess):
+    """Sinusoidally modulated Poisson between trough and peak rate.
+
+    The instantaneous rate is ``rate + (peak - rate) * (1 + sin(2*pi*t /
+    period)) / 2``: it starts at the midpoint, peaks a quarter period in,
+    and bottoms out at three quarters. Candidates are drawn at the peak
+    rate and thinned with one keyed acceptance draw each, the textbook
+    Lewis-Shedler construction for a non-homogeneous Poisson process.
+    """
+
+    rate_rps: float
+    peak_rate_rps: float
+    period_s: float
+
+    name = "diurnal"
+    description = "sinusoidal day/night rate between trough and peak"
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ConfigError("diurnal arrivals need rate_rps > 0")
+        if self.peak_rate_rps < self.rate_rps:
+            raise ConfigError(
+                "diurnal arrivals need peak_rate_rps >= rate_rps "
+                f"(got peak {self.peak_rate_rps} < trough {self.rate_rps})"
+            )
+        if self.period_s <= 0:
+            raise ConfigError("diurnal arrivals need period_s > 0")
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at time ``t``."""
+        swing = (self.peak_rate_rps - self.rate_rps) / 2.0
+        return self.rate_rps + swing * (1.0 + sin(2.0 * pi * t / self.period_s))
+
+    def times(self, rng: KeyedRng, count: int) -> tuple[float, ...]:
+        self._check_count(count)
+        now, out, candidate = 0.0, [], 0
+        while len(out) < count:
+            gap = rng.stream("diurnal-gap", candidate).exponential(
+                1.0 / self.peak_rate_rps
+            )
+            now += float(gap)
+            accept = rng.uniform("diurnal-accept", candidate)
+            if accept < self.rate_at(now) / self.peak_rate_rps:
+                out.append(now)
+            candidate += 1
+        return tuple(out)
+
+
+@dataclass(frozen=True, slots=True)
+class BurstyProcess(ArrivalProcess):
+    """On/off Markov-modulated Poisson arrivals.
+
+    Phase ``k`` is "on" for even ``k`` (rate ``burst_rate_rps``, duration
+    exponential with mean ``on_s``) and "off" for odd ``k`` (background
+    ``rate_rps``, mean ``off_s``). Within a phase, arrivals are Poisson
+    at the phase rate, each gap keyed by ``(phase, index)``; an arrival
+    falling past the phase boundary is discarded and the next phase
+    starts at the boundary, so the realized process genuinely switches
+    rates rather than smearing one long gap across phases.
+    """
+
+    rate_rps: float
+    burst_rate_rps: float
+    on_s: float
+    off_s: float
+
+    name = "bursty"
+    description = "on/off flash crowds over a background rate"
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ConfigError("bursty arrivals need rate_rps > 0")
+        if self.burst_rate_rps <= 0:
+            raise ConfigError("bursty arrivals need burst_rate_rps > 0")
+        if self.on_s <= 0 or self.off_s <= 0:
+            raise ConfigError("bursty arrivals need on_s > 0 and off_s > 0")
+
+    def times(self, rng: KeyedRng, count: int) -> tuple[float, ...]:
+        self._check_count(count)
+        out: list[float] = []
+        phase_start, phase = 0.0, 0
+        while len(out) < count:
+            on = phase % 2 == 0
+            mean_len = self.on_s if on else self.off_s
+            rate = self.burst_rate_rps if on else self.rate_rps
+            length = float(
+                rng.stream("bursty-phase", phase).exponential(mean_len)
+            )
+            phase_end = phase_start + length
+            now, i = phase_start, 0
+            while len(out) < count:
+                gap = rng.stream("bursty-gap", phase, i).exponential(1.0 / rate)
+                now += float(gap)
+                if now >= phase_end:
+                    break
+                out.append(now)
+                i += 1
+            phase_start, phase = phase_end, phase + 1
+        return tuple(out)
+
+
+_ARRIVALS: dict[str, Callable[..., ArrivalProcess]] = {
+    PoissonProcess.name: PoissonProcess,
+    DiurnalProcess.name: DiurnalProcess,
+    BurstyProcess.name: BurstyProcess,
+}
+
+
+def list_arrivals() -> list[str]:
+    """Registered arrival-process names."""
+    return sorted(_ARRIVALS)
+
+
+def arrival_descriptions() -> dict[str, str]:
+    """Process name → one-line description (for the CLI listing)."""
+    return {name: _ARRIVALS[name].description for name in list_arrivals()}
+
+
+def build_arrival(name: str, **params) -> ArrivalProcess:
+    """Instantiate an arrival process by registry name.
+
+    Unknown names raise :class:`~repro.errors.ConfigError` with a
+    nearest-match suggestion; bad parameters raise from the process's
+    own validator.
+    """
+    try:
+        factory = _ARRIVALS[name]
+    except KeyError:
+        from repro.utils.suggest import did_you_mean
+
+        raise ConfigError(
+            f"unknown arrival process {name!r}{did_you_mean(name, _ARRIVALS)}; "
+            f"registered: {', '.join(list_arrivals())}"
+        ) from None
+    try:
+        return factory(**params)
+    except TypeError as error:
+        raise ConfigError(f"bad {name} arrival parameters: {error}") from None

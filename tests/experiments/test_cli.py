@@ -181,3 +181,105 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "rtx4090" in out and "rtx4070ti" in out
         assert "vram GB" in out and "pcie GB/s" in out
+
+
+class TestTraceCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "run"])
+        assert args.trace_command == "run"
+        assert args.requests == 8
+        assert args.late_policy == "serve_late"
+        assert args.tenant is None
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_generate_then_replay(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code = main([
+            "trace", "generate", "--out", str(path),
+            "--tenant", "t0:rate=0.2,n=1,deadline=120,ttft=60",
+            "--requests", "3", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "t0" in out and str(path) in out
+        assert path.exists()
+
+        assert main(["trace", "replay", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-tenant SLOs" in out
+        assert "fleet SLO summary" in out
+        assert "slo attainment" in out
+
+    def test_run_matches_replay(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        argv_tail = ["--tenant", "t0:rate=0.3,n=1,deadline=60",
+                     "--requests", "3", "--seed", "2"]
+        assert main(["trace", "run", "--out", str(path), *argv_tail]) == 0
+        run_out = capsys.readouterr().out.splitlines()
+        assert main(["trace", "replay", "--trace", str(path)]) == 0
+        replay_out = capsys.readouterr().out.splitlines()
+        # Identical serving output modulo the leading "wrote <path>" line.
+        assert run_out[1:] == replay_out
+
+    def test_default_tenants(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "generate", "--out", str(path), "--requests", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chat" in out and "batch" in out
+
+    def test_drop_policy_reports_drops(self, capsys):
+        code = main([
+            "trace", "run", "--late-policy", "drop",
+            "--tenant", "t0:rate=2.0,n=1,deadline=5,requests=6",
+            "--seed", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "late-policy drop" in out
+        assert "deadline expired" in out
+
+    def test_negative_rate_rejected(self, capsys):
+        assert main(["trace", "run", "--tenant", "t:rate=-1"]) == 2
+        assert "rate > 0" in capsys.readouterr().err
+
+    def test_unknown_arrival_suggests(self, capsys):
+        assert main(["trace", "run", "--tenant", "t:arrival=posson"]) == 2
+        assert "did you mean 'poisson'" in capsys.readouterr().err
+
+    def test_nonpositive_deadline_rejected(self, capsys):
+        assert main(["trace", "run", "--tenant", "t:deadline=0"]) == 2
+        assert "deadline > 0" in capsys.readouterr().err
+
+    def test_unknown_spec_key_suggests(self, capsys):
+        assert main(["trace", "run", "--tenant", "t:ratee=1"]) == 2
+        assert "did you mean 'rate'" in capsys.readouterr().err
+
+    def test_zero_requests_rejected(self, capsys):
+        assert main(["trace", "run", "--requests", "0"]) == 2
+        assert "--requests" in capsys.readouterr().err
+
+    def test_unreadable_trace_file_rejected(self, capsys, tmp_path):
+        assert main([
+            "trace", "replay", "--trace", str(tmp_path / "missing.jsonl"),
+        ]) == 2
+        assert "cannot read trace file" in capsys.readouterr().err
+
+    def test_malformed_trace_file_rejected(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "other"}\n')
+        assert main(["trace", "replay", "--trace", str(path)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_unknown_late_policy_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["trace", "run", "--late-policy", "defer"])
+        assert excinfo.value.code == 2
+
+    def test_max_in_flight_validated(self, capsys):
+        assert main(["trace", "run", "--max-in-flight", "0"]) == 2
+        assert "--max-in-flight" in capsys.readouterr().err

@@ -11,9 +11,10 @@ refactors of the solve loop (e.g. the SolveSession state machine, the
 DevicePool fleet redesign) can assert byte-identity against the original
 monolithic implementation. ``--filter`` regenerates a named subset
 (``solve``, ``fleet``, ``sharing`` — the fleet runs with ``--kv-sharing
-off`` spelled out, ``batching`` — same with ``--batching off``) instead
-of everything — handy when one golden family legitimately changed and
-the others must provably not.
+off`` spelled out, ``batching`` — same with ``--batching off``,
+``openloop`` — same with ``--late-policy serve_late``) instead of
+everything — handy when one golden family legitimately changed and the
+others must provably not.
 """
 
 from __future__ import annotations
@@ -78,7 +79,11 @@ def _record_dict(record) -> dict:
     }
 
 
-def capture_fleet(kv_sharing: str = "off", batching: str = "off") -> dict:
+def capture_fleet(
+    kv_sharing: str = "off",
+    batching: str = "off",
+    late_policy: str = "serve_late",
+) -> dict:
     runs = {}
     for label, rate, max_in_flight in (
         ("open-slow", 0.005, None),
@@ -90,6 +95,7 @@ def capture_fleet(kv_sharing: str = "off", batching: str = "off") -> dict:
         fleet = TTSFleet(
             config, dataset, max_in_flight=max_in_flight,
             kv_sharing=kv_sharing, batching=batching,
+            late_policy=late_policy,
         )
         arrivals = generate_arrivals(len(dataset), rate, seed=FLEET_SEED)
         fleet.submit_stream(list(dataset), build_algorithm("beam_search", 4), arrivals)
@@ -125,12 +131,25 @@ def capture_batching() -> dict:
     return capture_fleet(batching="off")
 
 
+def capture_openloop() -> dict:
+    """The fleet goldens again, with ``late_policy="serve_late"`` spelled out.
+
+    Same contract as ``sharing``/``batching``: deadline-free closed-loop
+    runs through the open-loop-capable drain must stay byte-identical to
+    the default fleet golden, so regenerating this subset and diffing is
+    the CI assertion that the trace/SLO subsystem never perturbs
+    closed-loop serving.
+    """
+    return capture_fleet(late_policy="serve_late")
+
+
 # golden family name -> (output file, capture function)
 GOLDENS = {
     "solve": ("solve_goldens.json", capture_solves),
     "fleet": ("fleet_fifo_goldens.json", capture_fleet),
     "sharing": ("fleet_fifo_goldens.json", capture_sharing),
     "batching": ("fleet_fifo_goldens.json", capture_batching),
+    "openloop": ("fleet_fifo_goldens.json", capture_openloop),
 }
 
 
@@ -146,13 +165,13 @@ def main(argv: list[str] | None = None) -> None:
              f"one of: {', '.join(sorted(GOLDENS))}; default: all)",
     )
     args = parser.parse_args(argv)
-    # "sharing" and "batching" are assertion-only subsets (byte-for-byte
-    # the fleet family with the dedup-off ledger / run-to-completion
-    # path spelled out); the default run skips them so the fleet
-    # simulation is not executed three times.
+    # "sharing", "batching", and "openloop" are assertion-only subsets
+    # (byte-for-byte the fleet family with the dedup-off ledger /
+    # run-to-completion / serve-late path spelled out); the default run
+    # skips them so the fleet simulation is not executed four times.
     selected = (
         args.filter if args.filter
-        else sorted(set(GOLDENS) - {"sharing", "batching"})
+        else sorted(set(GOLDENS) - {"sharing", "batching", "openloop"})
     )
     for name in selected:
         filename, capture = GOLDENS[name]

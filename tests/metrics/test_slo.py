@@ -1,0 +1,183 @@
+"""SLO metrics: guarded percentiles, attainment, queue depth, rollups."""
+
+import pytest
+
+from repro.metrics.fleet import (
+    FleetRequestRecord,
+    SLOSummary,
+    TenantSLO,
+    latency_p95,
+    queue_depth_series,
+    tenant_slo_rollup,
+    tenant_table,
+    ttft_p95,
+)
+
+
+def record(rid="r0", arrival=0.0, start=1.0, finish=5.0, **kwargs):
+    return FleetRequestRecord(
+        request_id=rid, arrival_s=arrival, start_s=start, finish_s=finish,
+        **kwargs,
+    )
+
+
+def dropped_record(rid, arrival, deadline):
+    return record(
+        rid, arrival=arrival, start=arrival, finish=arrival + deadline,
+        accepted=False, dropped=True, deadline_s=deadline,
+        reject_reason="deadline expired",
+    )
+
+
+class TestGuardedPercentiles:
+    def test_empty_returns_none(self):
+        assert ttft_p95([]) is None
+        assert latency_p95([]) is None
+
+    def test_all_shed_returns_none(self):
+        records = [dropped_record("r0", 0.0, 5.0)]
+        assert ttft_p95(records) is None
+        assert latency_p95(records) is None
+
+    def test_singleton_returns_the_value(self):
+        records = [record(ttft_s=2.5)]
+        assert ttft_p95(records) == 2.5
+        assert latency_p95(records) == 5.0
+
+    def test_multiple_values_interpolate(self):
+        records = [
+            record(f"r{i}", finish=1.0 + i, ttft_s=float(i)) for i in range(10)
+        ]
+        assert 8.0 < ttft_p95(records) <= 9.0
+        assert latency_p95(records) <= 10.0
+
+    def test_records_without_ttft_are_skipped(self):
+        records = [record("a", ttft_s=None), record("b", ttft_s=3.0)]
+        assert ttft_p95(records) == 3.0
+
+
+class TestSLOFlags:
+    def test_no_deadline_means_none(self):
+        assert record().deadline_met is None
+        assert record().ttft_slo_met is None
+
+    def test_met_and_missed(self):
+        assert record(deadline_s=10.0).deadline_met is True  # sojourn 5
+        assert record(deadline_s=4.0).deadline_met is False
+        assert record(ttft_slo_s=2.0, ttft_s=1.5).ttft_slo_met is True
+        assert record(ttft_slo_s=2.0, ttft_s=2.5).ttft_slo_met is False
+
+    def test_shed_requests_count_as_misses(self):
+        shed = dropped_record("r0", 0.0, 5.0)
+        assert shed.deadline_met is False
+        no_token = record(ttft_slo_s=2.0, ttft_s=None)
+        assert no_token.ttft_slo_met is False
+
+    def test_dropped_cannot_be_accepted(self):
+        with pytest.raises(ValueError):
+            record(accepted=True, dropped=True)
+
+    def test_nonpositive_targets_rejected(self):
+        with pytest.raises(ValueError):
+            record(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            record(ttft_slo_s=-1.0)
+
+
+class TestQueueDepthSeries:
+    def test_hand_built_series(self):
+        records = [
+            record("a", arrival=0.0, start=2.0, finish=6.0),
+            record("b", arrival=1.0, start=6.0, finish=9.0),
+            dropped_record("c", 3.0, 4.0),  # queued 3.0 -> dropped at 7.0
+        ]
+        assert queue_depth_series(records) == (
+            (0.0, 1), (1.0, 2), (2.0, 1), (3.0, 2), (6.0, 1), (7.0, 0),
+        )
+
+    def test_rejected_requests_never_queue(self):
+        rejected = record(
+            "r", arrival=1.0, start=1.0, finish=1.0, accepted=False,
+            reject_reason="admission control",
+        )
+        assert queue_depth_series([rejected]) == ()
+
+    def test_tied_timestamps_coalesce_to_post_transition_depth(self):
+        records = [
+            record("a", arrival=0.0, start=5.0, finish=9.0),
+            record("b", arrival=5.0, start=5.0, finish=9.0),
+        ]
+        # At t=5 'a' starts and 'b' arrives-and-starts: every transition
+        # coalesces into one entry holding the post-transition depth.
+        assert queue_depth_series(records) == ((0.0, 1), (5.0, 0))
+
+    def test_empty(self):
+        assert queue_depth_series([]) == ()
+
+
+class TestTenantRollup:
+    def test_rollup_groups_and_judges(self):
+        records = [
+            record("a-0", arrival=0.0, start=0.0, finish=4.0,
+                   tenant="a", deadline_s=10.0, ttft_s=1.0, ttft_slo_s=2.0),
+            record("a-1", arrival=1.0, start=4.0, finish=20.0,
+                   tenant="a", deadline_s=10.0, ttft_s=5.0, ttft_slo_s=2.0),
+            record("b-0", arrival=2.0, start=2.0, finish=10.0, tenant="b"),
+        ]
+        correct = {"a-0": True, "a-1": True, "b-0": True}
+        slos = tenant_slo_rollup(records, correct)
+        assert [s.tenant for s in slos] == ["a", "b"]
+        a, b = slos
+        # a-1 finished at 20 > deadline 10: half the deadline flags hold.
+        assert a.slo_attainment == 0.5
+        assert a.ttft_attainment == 0.5
+        # Only a-0 was correct *and* in deadline; makespan is fleet-wide 20.
+        assert a.goodput_ud_rps == pytest.approx(1 / 20.0)
+        # b set no targets: attainment is None but correct work counts.
+        assert b.slo_attainment is None
+        assert b.ttft_attainment is None
+        assert b.goodput_ud_rps == pytest.approx(1 / 20.0)
+
+    def test_untenanted_records_group_under_dash(self):
+        slos = tenant_slo_rollup([record()], {})
+        assert [s.tenant for s in slos] == ["-"]
+
+    def test_all_dropped_tenant_does_not_raise(self):
+        records = [dropped_record("a-0", 0.0, 5.0)]
+        slo = TenantSLO.aggregate("a", records, {}, makespan_s=0.0)
+        assert slo.completed == 0
+        assert slo.dropped == 1
+        assert slo.slo_attainment == 0.0
+        assert slo.goodput_ud_rps == 0.0
+        assert slo.ttft_p95_s is None
+        assert slo.latency_p95_s is None
+
+    def test_incorrect_answers_earn_no_goodput(self):
+        records = [record("a-0", tenant="a", deadline_s=10.0)]
+        slo = tenant_slo_rollup(records, {"a-0": False})[0]
+        assert slo.goodput_ud_rps == 0.0
+        assert slo.slo_attainment == 1.0
+
+
+class TestTables:
+    def test_tenant_table_renders_none_as_dash(self):
+        slos = tenant_slo_rollup([record(tenant="solo")], {})
+        table = tenant_table(slos, title="t")
+        assert "solo" in table
+        assert "-" in table
+        with pytest.raises(ValueError):
+            tenant_table([])
+
+    def test_summary_all_dropped(self):
+        records = [dropped_record("r0", 0.0, 5.0), dropped_record("r1", 1.0, 5.0)]
+        summary = SLOSummary.aggregate(records, {}, pool_size=1)
+        assert summary.completed == 0
+        assert summary.dropped == 2
+        assert summary.slo_attainment == 0.0
+        assert summary.goodput_ud_rps == 0.0
+        assert summary.makespan_s == 6.0  # until the last drop
+        assert "slo attainment" in summary.table()
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SLOSummary.aggregate([], {})

@@ -1,0 +1,145 @@
+"""Open-loop acceptance: replay identity, overload SLOs, late policies.
+
+The two headline contracts from the issue:
+
+* a trace serialized to JSONL and replayed produces byte-identical fleet
+  records to running the in-memory trace directly;
+* at ~2x the sustainable arrival rate, SLO attainment degrades while
+  goodput-under-deadline stays within a bounded factor of the
+  closed-loop optimum (the same fleet saturated with deadline-free
+  work).
+"""
+
+import pytest
+
+from repro.core.config import baseline_config
+from repro.core.fleet import run_trace
+from repro.errors import ConfigError
+from repro.workloads.tenants import TenantSpec, generate_trace
+from repro.workloads.trace import Trace
+
+
+def config():
+    return baseline_config(memory_fraction=0.4, seed=0)
+
+
+def single_tenant_trace(rate: float, requests: int, seed: int = 1,
+                        deadline: float = 30.0, ttft: float = 15.0) -> Trace:
+    spec = TenantSpec.parse(
+        f"t:arrival=poisson,rate={rate},n=1,deadline={deadline},"
+        f"ttft={ttft},requests={requests}"
+    )
+    return generate_trace([spec], seed=seed)
+
+
+@pytest.fixture(scope="module")
+def closed_loop_optimum():
+    """Service-limited completion and goodput rate of one saturated lane.
+
+    A very high arrival rate with no deadlines keeps the lane always
+    busy, so completed/makespan is the fleet's sustainable service rate
+    and correct/makespan its goodput ceiling.
+    """
+    spec = TenantSpec.parse("t:arrival=poisson,rate=50,n=1,requests=40")
+    report = run_trace(generate_trace([spec], seed=1), config())
+    metrics = report.metrics
+    correct = sum(1 for r in report.results.values() if r.top1_correct)
+    return {
+        "service_rate": metrics.completed / metrics.makespan_s,
+        "goodput": correct / metrics.makespan_s,
+    }
+
+
+class TestReplayIdentity:
+    def test_jsonl_round_trip_is_byte_identical(self, tmp_path):
+        trace = generate_trace(
+            [
+                TenantSpec.parse("chat:rate=0.2,deadline=60,ttft=20,requests=5"),
+                TenantSpec.parse("batch:arrival=bursty,rate=0.1,requests=5"),
+            ],
+            seed=4,
+        )
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        replayed = Trace.load(path)
+        assert replayed == trace
+
+        direct = run_trace(trace, config(), late_policy="drop")
+        from_disk = run_trace(replayed, config(), late_policy="drop")
+        assert from_disk.records == direct.records
+        assert from_disk.results == direct.results
+        assert from_disk.table() == direct.table()
+        assert from_disk.tenant_table() == direct.tenant_table()
+
+    def test_rejects_bad_late_policy(self):
+        trace = single_tenant_trace(rate=0.1, requests=2)
+        with pytest.raises(ConfigError, match="late_policy"):
+            run_trace(trace, config(), late_policy="reject")
+
+
+class TestOverload:
+    def test_slo_degrades_but_goodput_bounded(self, closed_loop_optimum):
+        mu = closed_loop_optimum["service_rate"]
+
+        under = run_trace(
+            single_tenant_trace(rate=0.5 * mu, requests=40), config()
+        ).slo_summary()
+        over_late = run_trace(
+            single_tenant_trace(rate=2.0 * mu, requests=40), config()
+        ).slo_summary()
+        over_drop = run_trace(
+            single_tenant_trace(rate=2.0 * mu, requests=40), config(),
+            late_policy="drop",
+        ).slo_summary()
+
+        # Under 2x overload, attainment collapses and the queue saturates.
+        assert under.slo_attainment == 1.0
+        assert over_late.slo_attainment < 0.6 < under.slo_attainment
+        assert over_drop.dropped > 0
+        assert over_late.overload_fraction > under.overload_fraction
+        assert over_late.queue_depth_peak > under.queue_depth_peak
+
+        # ... but goodput-under-deadline stays within a bounded factor of
+        # the closed-loop optimum: shedding keeps the lane doing useful
+        # in-deadline work instead of serving already-dead requests.
+        optimum = closed_loop_optimum["goodput"]
+        assert over_drop.goodput_ud_rps >= optimum / 3.0
+        assert over_drop.goodput_ud_rps <= optimum * 1.05
+        assert over_drop.goodput_ud_rps > over_late.goodput_ud_rps
+
+
+class TestLatePolicies:
+    def test_serve_late_completes_everything(self):
+        report = run_trace(
+            single_tenant_trace(rate=1.0, requests=8, deadline=10.0), config()
+        )
+        assert all(r.accepted and not r.dropped for r in report.records)
+        assert len(report.results) == 8
+
+    def test_drop_sheds_expired_requests_deterministically(self):
+        trace = single_tenant_trace(rate=1.0, requests=8, deadline=10.0)
+        report = run_trace(trace, config(), late_policy="drop")
+        dropped = [r for r in report.records if r.dropped]
+        assert dropped, "a 10s deadline at this rate must shed something"
+        for record in dropped:
+            assert not record.accepted
+            assert record.finish_s == pytest.approx(
+                record.arrival_s + record.deadline_s
+            )
+            assert "deadline expired" in record.reject_reason
+        # Dropped requests never produce results; served ones all do.
+        served = {r.request_id for r in report.records if r.accepted}
+        assert set(report.results) == served
+        # Identical reruns are byte-identical (pure function of the trace).
+        again = run_trace(trace, config(), late_policy="drop")
+        assert again.records == report.records
+
+    def test_started_requests_always_finish(self):
+        # drop only sheds requests still in the queue: anything with a
+        # start time runs to completion even if it finishes past deadline.
+        trace = single_tenant_trace(rate=1.0, requests=8, deadline=10.0)
+        report = run_trace(trace, config(), late_policy="drop")
+        for record in report.records:
+            if record.accepted:
+                assert record.finish_s is not None
+                assert record.start_s is not None

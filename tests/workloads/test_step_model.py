@@ -1,0 +1,85 @@
+"""Property tests: StepLengthModel floor/cap, determinism, validators."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.utils.rng import KeyedRng
+from repro.workloads.traces import StepLengthModel
+
+models = st.builds(
+    StepLengthModel,
+    median_tokens=st.floats(min_value=1.0, max_value=2000.0),
+    sigma=st.floats(min_value=0.0, max_value=3.0),
+    min_tokens=st.integers(min_value=1, max_value=64),
+    max_tokens=st.integers(min_value=64, max_value=4096),
+)
+keys = st.tuples(
+    st.integers(min_value=0, max_value=10**9),
+    st.text(min_size=0, max_size=8),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(model=models, seed=st.integers(min_value=0, max_value=2**32), key=keys)
+def test_sample_within_floor_and_cap(model, seed, key):
+    value = model.sample(KeyedRng(seed), *key)
+    assert isinstance(value, int)
+    assert model.min_tokens <= value <= model.max_tokens
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    model=models,
+    seed=st.integers(min_value=0, max_value=2**32),
+    key=keys,
+    cap=st.integers(min_value=1, max_value=8192),
+)
+def test_cap_override_respected(model, seed, key, cap):
+    value = model.sample(KeyedRng(seed), *key, cap=cap)
+    limit = min(cap, model.max_tokens)
+    if limit < model.min_tokens:
+        # A cap below the floor degrades to the cap itself (never < 1).
+        assert value == max(1, limit)
+    else:
+        assert model.min_tokens <= value <= limit
+
+
+@settings(max_examples=100, deadline=None)
+@given(model=models, seed=st.integers(min_value=0, max_value=2**32), key=keys)
+def test_deterministic_per_key(model, seed, key):
+    first = model.sample(KeyedRng(seed), *key)
+    # Unrelated draws in between must not perturb the keyed stream.
+    rng = KeyedRng(seed)
+    rng.uniform("unrelated")
+    assert model.sample(rng, *key) == first
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32))
+def test_distinct_keys_decorrelate(seed):
+    model = StepLengthModel(median_tokens=200.0, sigma=0.8)
+    rng = KeyedRng(seed)
+    values = {model.sample(rng, "step", i) for i in range(32)}
+    assert len(values) > 1
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"median_tokens": 0.0, "sigma": 0.5},
+        {"median_tokens": -10.0, "sigma": 0.5},
+        {"median_tokens": 100.0, "sigma": -0.1},
+        {"median_tokens": 100.0, "sigma": 0.5, "min_tokens": 0},
+        {"median_tokens": 100.0, "sigma": 0.5, "min_tokens": 65, "max_tokens": 64},
+    ],
+)
+def test_validators_reject(kwargs):
+    with pytest.raises(ValueError):
+        StepLengthModel(**kwargs)
+
+
+def test_mean_tokens_above_median():
+    model = StepLengthModel(median_tokens=150.0, sigma=0.9)
+    assert model.mean_tokens > model.median_tokens
+    assert StepLengthModel(median_tokens=150.0, sigma=0.0).mean_tokens == 150.0
