@@ -148,6 +148,74 @@ def run_openloop_scenario(requests, late_policy):
     }
 
 
+def run_fault_scenario(requests, recovery="failover"):
+    """Open-loop lane-crash overload: the same 1k-request trace on a
+    four-lane pool with one lane crashing mid-trace (120 s MTTR) and a
+    second permanent crash late in the run. Tracks availability, losses,
+    and MTTR alongside the simulator-cost axes, so the recovery path's
+    overhead and its serving outcome regress in the same artifact."""
+    per_tenant = requests // 2
+    tenants = [
+        TenantSpec.parse(
+            f"chat:arrival=poisson,rate=0.3,n=1,deadline=60,ttft=30,"
+            f"requests={per_tenant}"
+        ),
+        TenantSpec.parse(
+            f"batch:arrival=bursty,rate=0.15,n=1,deadline=240,"
+            f"requests={requests - per_tenant}"
+        ),
+    ]
+    trace = generate_trace(tenants, seed=0, base_dataset="amc23")
+    spec = "crash:at=300,lane=0,mttr=120;crash:at=900,lane=2"
+    wall_start = time.perf_counter()
+    report = run_trace(
+        trace, baseline_config(memory_fraction=0.4, seed=0),
+        devices=["rtx4090"] * 4, scheduler="round_robin",
+        placement="least_loaded",
+        faults=spec, recovery=recovery,
+    )
+    wall_s = time.perf_counter() - wall_start
+    m = report.metrics
+    slo = report.slo_summary()
+    return {
+        "scenario": f"openloop_lane_crash_{recovery}",
+        "scheduler": "round_robin",
+        "devices": 4,
+        "faults": spec,
+        "recovery": recovery,
+        "requests": requests,
+        "wall_s": round(wall_s, 3),
+        "sim_makespan_s": round(m.makespan_s, 3),
+        "sim_seconds_per_wall_second": (
+            round(m.makespan_s / wall_s, 1) if wall_s > 0 else None
+        ),
+        "sessions_per_sec": (
+            round(m.completed / wall_s, 2) if wall_s > 0 else None
+        ),
+        "peak_rss_mib": peak_rss_mib(),
+        "availability": {
+            "availability": round(m.availability, 4),
+            "requests_lost": m.requests_lost,
+            "lane_failures": m.lane_failures,
+            "mttr_s": round(m.mttr_s, 2) if m.mttr_s is not None else None,
+            "retries_total": m.retries_total,
+            "redone_work_s": round(m.redone_work_s, 2),
+            "failed_over": m.failed_over,
+        },
+        "slo": {
+            "completed": slo.completed,
+            "dropped": slo.dropped,
+            "slo_attainment": (
+                round(slo.slo_attainment, 4)
+                if slo.slo_attainment is not None else None
+            ),
+            "goodput_under_deadline_rps": round(slo.goodput_ud_rps, 4),
+            "queue_depth_peak": slo.queue_depth_peak,
+            "overload_fraction": round(slo.overload_fraction, 4),
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=5,
@@ -183,6 +251,16 @@ def main(argv=None) -> int:
             f"slo={result['slo']['slo_attainment']}",
             file=sys.stderr,
         )
+    result = run_fault_scenario(args.openloop_requests)
+    results.append(result)
+    print(
+        f"{result['scenario']:24s} wall={result['wall_s']:7.3f}s "
+        f"sim/wall={result['sim_seconds_per_wall_second']}x "
+        f"sessions/s={result['sessions_per_sec']} "
+        f"rss={result['peak_rss_mib']}MiB "
+        f"avail={result['availability']['availability']}",
+        file=sys.stderr,
+    )
 
     payload = {
         "benchmark": "bench_fleet",

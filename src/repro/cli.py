@@ -66,6 +66,7 @@ from repro.core.pool import list_placements, placement_descriptions
 from repro.core.scheduler import list_schedulers, scheduler_descriptions
 from repro.core.server import TTSServer
 from repro.errors import ConfigError
+from repro.faults import fault_descriptions, parse_fault_spec
 from repro.metrics.fleet import compare_policies
 from repro.utils.suggest import did_you_mean
 from repro.workloads.arrivals import arrival_descriptions
@@ -212,6 +213,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if device_error is not None:
         print(f"error: {device_error}", file=sys.stderr)
         return 2
+    try:
+        parse_fault_spec(args.faults)
+    except ConfigError as exc:
+        print(f"error: --faults: {exc}", file=sys.stderr)
+        return 2
     factory = fasttts_config if args.system == "fasttts" else baseline_config
     config = factory(
         device_name=(device_names[0] if device_names else args.device),
@@ -234,6 +240,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             oversubscription=args.oversubscription,
             kv_sharing=args.kv_sharing,
             batching=args.batching,
+            faults=args.faults,
+            recovery=args.recovery,
+            retry_budget=args.retry_budget,
         )
         fleet.submit_stream(list(dataset), algorithm, arrivals)
         reports[policy] = fleet.drain()
@@ -246,6 +255,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         workload += f" | kv-sharing {args.kv_sharing}"
     if args.batching != "off":
         workload += f" | batching {args.batching}"
+    if args.faults != "off":
+        workload += f" | faults {args.faults} | recovery {args.recovery}"
     multi_device = device_names is not None and len(device_names) > 1
     if multi_device:
         workload += f" | placement {args.placement}"
@@ -255,7 +266,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         if multi_device:
             print(report.device_table(title="per-device utilization"))
         for record in report.records:
-            if not record.accepted:
+            if record.lost:
+                print(f"lost {record.request_id}: {record.reject_reason}")
+            elif not record.accepted:
                 print(f"rejected {record.request_id}: {record.reject_reason}")
     else:
         print(compare_policies(
@@ -312,6 +325,11 @@ def _serve_trace(trace: Trace, args: argparse.Namespace) -> int:
     if device_error is not None:
         print(f"error: {device_error}", file=sys.stderr)
         return 2
+    try:
+        parse_fault_spec(args.faults)
+    except ConfigError as exc:
+        print(f"error: --faults: {exc}", file=sys.stderr)
+        return 2
     factory = fasttts_config if args.system == "fasttts" else baseline_config
     config = factory(
         device_name=(device_names[0] if device_names else args.device),
@@ -329,11 +347,16 @@ def _serve_trace(trace: Trace, args: argparse.Namespace) -> int:
         batching=args.batching,
         late_policy=args.late_policy,
         max_in_flight=args.max_in_flight,
+        faults=args.faults,
+        recovery=args.recovery,
+        retry_budget=args.retry_budget,
     )
     device_label = ",".join(device_names) if device_names else args.device
     workload = (f"{len(trace.requests)} requests / {len(trace.tenants)} tenants "
                 f"over {trace.horizon_s:.0f}s | {args.system} {args.config} "
                 f"on {device_label} | late-policy {args.late_policy}")
+    if args.faults != "off":
+        workload += f" | faults {args.faults} | recovery {args.recovery}"
     print(report.table(title=f"trace [{args.scheduler}]: {workload}"))
     if device_names is not None and len(device_names) > 1:
         print(report.device_table(title="per-device utilization"))
@@ -342,6 +365,8 @@ def _serve_trace(trace: Trace, args: argparse.Namespace) -> int:
     for record in report.records:
         if record.dropped:
             print(f"dropped {record.request_id}: {record.reject_reason}")
+        elif record.lost:
+            print(f"lost {record.request_id}: {record.reject_reason}")
         elif not record.accepted:
             print(f"rejected {record.request_id}: {record.reject_reason}")
     return 0
@@ -516,6 +541,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coalesce co-resident sessions' rounds into one "
                             "jointly-costed batch per lane iteration (off = "
                             "one session's round at a time)")
+    fault_help = "; ".join(
+        f"{name}: {desc}" for name, desc in fault_descriptions().items()
+    )
+    fleet.add_argument("--faults", default="off", metavar="SPEC",
+                       help="fault-injection spec 'kind:key=value,...' "
+                            "(';'-separated clauses; 'off' disables). "
+                            "Each clause fires once (at=) or as a Poisson "
+                            f"process (rate=). Kinds — {fault_help}")
+    fleet.add_argument("--recovery", choices=("failover", "retry", "shed"),
+                       default="failover",
+                       help="what a lane crash does to its in-flight "
+                            "requests: re-place on a healthy lane "
+                            "(failover), re-queue with exponential backoff "
+                            "(retry), or fail fast (shed)")
+    fleet.add_argument("--retry-budget", type=int, default=3,
+                       dest="retry_budget",
+                       help="max re-queues per request under --recovery "
+                            "retry before it is declared lost")
     fleet.add_argument("--memory-fraction", type=float, default=0.4)
     fleet.add_argument("--seed", type=int, default=0)
 
@@ -566,6 +609,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "(serve_late) or shed it (drop)")
         p.add_argument("--max-in-flight", type=int, default=None,
                        help="admission-control cap on queued+running requests")
+        p.add_argument("--faults", default="off", metavar="SPEC",
+                       help="fault-injection spec 'kind:key=value,...' "
+                            "(';'-separated clauses; 'off' disables)")
+        p.add_argument("--recovery", choices=("failover", "retry", "shed"),
+                       default="failover",
+                       help="lane-crash recovery policy for in-flight "
+                            "requests")
+        p.add_argument("--retry-budget", type=int, default=3,
+                       dest="retry_budget",
+                       help="max re-queues per request under --recovery "
+                            "retry before it is declared lost")
         p.add_argument("--memory-fraction", type=float, default=0.4)
 
     trace_generate = trace_sub.add_parser(

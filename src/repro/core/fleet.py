@@ -56,8 +56,9 @@ the pre-pool fleet byte for byte (pinned by
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.batcher import RoundBatcher
 from repro.core.config import ServerConfig
@@ -66,7 +67,8 @@ from repro.core.scheduler import RequestScheduler, SessionHandle, build_schedule
 from repro.core.server import TTSServer
 from repro.core.session import SessionState
 from repro.engine.clock import ClockBinding
-from repro.errors import CapacityError, ConfigError
+from repro.errors import CapacityError, ConfigError, RetryExhaustedError
+from repro.faults import FaultInjector, FaultProcess, RetryPolicy, parse_fault_spec
 from repro.metrics.fleet import DeviceUtilization, FleetMetrics, FleetRequestRecord
 from repro.metrics.report import ProblemRunResult
 from repro.search.base import SearchAlgorithm
@@ -151,6 +153,8 @@ class FleetReport:
     kv_sharing: str = "off"
     batching: str = "off"
     late_policy: str = "serve_late"
+    faults: str = "off"
+    recovery: str = "failover"
 
     @property
     def metrics(self) -> FleetMetrics:
@@ -195,7 +199,14 @@ class FleetReport:
 
 @dataclass(slots=True)
 class _RequestState:
-    """Fleet-side lifecycle of one admitted request (and its replicas)."""
+    """Fleet-side lifecycle of one admitted request (and its replicas).
+
+    ``device`` is the placement-chosen primary lane; racing replicas may
+    sit on other lanes (each handle's own ``device``). ``claim_lanes``
+    tracks which lanes currently hold this request's live-count and
+    planned-KV claims, so crash handling can release exactly the dead
+    lane's share and settlement the rest — never double-counting.
+    """
 
     request: FleetRequest
     seq: int
@@ -203,6 +214,7 @@ class _RequestState:
     device: PooledDevice
     start_s: float | None = None
     record: FleetRequestRecord | None = None
+    claim_lanes: list[PooledDevice] = field(default_factory=list)
 
     @property
     def finished(self) -> bool:
@@ -240,12 +252,30 @@ class TTSFleet:
         kv_sharing: str = "off",
         batching: str = "off",
         late_policy: str = "serve_late",
+        faults: "str | Sequence[FaultProcess]" = "off",
+        recovery: str = "failover",
+        retry_budget: int = 3,
+        retry_backoff_s: float = 1.0,
     ) -> None:
         if max_in_flight is not None and max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1 when set")
         if late_policy not in ("serve_late", "drop"):
             raise ConfigError(
                 f"late_policy must be 'serve_late' or 'drop', got {late_policy!r}"
+            )
+        if recovery not in ("failover", "retry", "shed"):
+            raise ConfigError(
+                f"recovery must be 'failover', 'retry' or 'shed', "
+                f"got {recovery!r}"
+            )
+        if isinstance(faults, str):
+            self._faults_label = faults if faults.strip() else "off"
+            self._fault_processes = parse_fault_spec(faults)
+        else:
+            self._fault_processes = tuple(faults)
+            self._faults_label = (
+                ";".join(p.name for p in self._fault_processes)
+                if self._fault_processes else "off"
             )
         if kv_sharing not in ("off", "prefix"):
             raise ConfigError(
@@ -290,6 +320,10 @@ class TTSFleet:
         self._oversubscription = oversubscription
         self._late_policy = late_policy
         self._max_in_flight = max_in_flight
+        self._recovery = recovery
+        self._retry_policy = RetryPolicy(
+            budget=retry_budget, backoff_s=retry_backoff_s
+        )
         self._scheduler = (
             build_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
         )
@@ -336,6 +370,15 @@ class TTSFleet:
     @property
     def late_policy(self) -> str:
         return self._late_policy
+
+    @property
+    def faults(self) -> str:
+        """The fault spec label this fleet injects (``"off"`` = none)."""
+        return self._faults_label
+
+    @property
+    def recovery(self) -> str:
+        return self._recovery
 
     def submit(
         self,
@@ -466,7 +509,14 @@ class TTSFleet:
         requests = [self._queue[i] for i in order]
         self._queue = []
 
-        pending: deque[tuple[int, FleetRequest]] = deque(enumerate(requests))
+        # Min-heap of (arrival, seq, request): initial entries pop in the
+        # exact (arrival, submission) order the old deque served, and
+        # retried/re-queued requests merge back in at their new times.
+        pending: list[tuple[float, int, FleetRequest]] = [
+            (request.arrival_s, seq, request)
+            for seq, request in enumerate(requests)
+        ]
+        heapq.heapify(pending)
         states: dict[int, _RequestState] = {}
         records: dict[int, FleetRequestRecord] = {}
         results: dict[str, ProblemRunResult] = {}
@@ -475,6 +525,26 @@ class TTSFleet:
         current: dict[int, SessionHandle | None] = {lane.index: None for lane in lanes}
         turn = 0
 
+        # Fault machinery: the injector's keyed timeline, plus a heap of
+        # scheduled restorations ((time, tiebreak, kind, lane) — lane
+        # recovery after MTTR, link restore, KV-pressure relief).
+        injector = (
+            FaultInjector(
+                self._fault_processes,
+                KeyedRng(self._pool[0].server.config.seed).fork("faults"),
+                len(lanes),
+            )
+            if self._fault_processes
+            else None
+        )
+        recoveries: list[tuple[float, int, str, PooledDevice]] = []
+        recovery_seq = 0
+        # Availability accounting that must survive a request's state being
+        # rebuilt (failover) or re-queued (retry): keyed by request seq.
+        retries_ct: dict[int, int] = {}
+        redone: dict[int, float] = {}
+        failed_over_seqs: set[int] = set()
+
         def running_requests() -> int:
             return sum(1 for st in states.values() if not st.finished)
 
@@ -482,9 +552,9 @@ class TTSFleet:
             return [
                 h
                 for st in states.values()
-                if not st.finished and st.device is lane
+                if not st.finished
                 for h in st.handles
-                if h.runnable
+                if h.runnable and h.device is lane
             ]
 
         def acting_lane() -> PooledDevice | None:
@@ -496,10 +566,117 @@ class TTSFleet:
                     best = lane
             return best
 
-        def admit(seq: int, request: FleetRequest) -> None:
+        def release_claims(
+            st: _RequestState, only: PooledDevice | None = None
+        ) -> None:
+            """Return a request's live-count/planned-KV claims to its lanes.
+
+            Idempotent per lane: ``claim_lanes`` shrinks as shares are
+            returned, so a crash releasing the dead lane's share and a
+            later settlement releasing the rest never double-count.
+            """
+            for lane in list(st.claim_lanes):
+                if only is not None and lane is not only:
+                    continue
+                lane.live_requests -= 1
+                lane.planned_kv_bytes -= self._kv_claims[
+                    (lane.index, st.request.algorithm.n)
+                ]
+                st.claim_lanes.remove(lane)
+
+        def place(
+            request: FleetRequest,
+            seq: int,
+            eligible: list[PooledDevice],
+            now: float,
+            carry_start: float | None = None,
+        ) -> _RequestState:
+            """Create a request's sessions and bind them to pool lanes.
+
+            The scheduler picks the primary lane (placement hook) and may
+            spread racing replicas across further eligible lanes
+            (``replica_lanes``); each replica's session is created on the
+            server of the lane it will run on — identical search results
+            either way, since every lane shares the pairing and seed.
+
+            ``now`` is the placement instant; handles carry it as their
+            effective (re-)arrival so a failover or retry restart never
+            begins before the crash that caused it — even on an idle lane
+            whose clock lags the fault time. First placements pass the
+            arrival itself, so nothing changes without faults.
+            """
+            rearrival = max(request.arrival_s, now)
+            device = self._scheduler.choose_device(
+                request, eligible, self._placement, now
+            )
+            replica_lanes = self._scheduler.replica_lanes(
+                request, device, eligible
+            )
+            sessions_by_lane = {
+                device.index: self._scheduler.sessions_for(device.server, request)
+            }
+            handles = []
+            for replica in range(len(sessions_by_lane[device.index])):
+                lane = replica_lanes[replica % len(replica_lanes)]
+                if lane.index not in sessions_by_lane:
+                    sessions_by_lane[lane.index] = self._scheduler.sessions_for(
+                        lane.server, request
+                    )
+                session = sessions_by_lane[lane.index][replica]
+                handles.append(
+                    SessionHandle(
+                        request_id=request.request_id,
+                        arrival_s=rearrival,
+                        seq=seq,
+                        replica=replica,
+                        session=session,
+                        binding=ClockBinding(session.clock),
+                        device=lane,
+                    )
+                )
+            st = _RequestState(
+                request=request, seq=seq, handles=handles, device=device,
+                start_s=carry_start,
+            )
+            seen: set[int] = set()
+            for handle in handles:
+                if handle.device.index in seen:
+                    continue
+                seen.add(handle.device.index)
+                handle.device.live_requests += 1
+                handle.device.planned_kv_bytes += self._kv_claims[
+                    (handle.device.index, request.algorithm.n)
+                ]
+                st.claim_lanes.append(handle.device)
+            states[seq] = st
+            return st
+
+        def next_lane_recovery() -> float | None:
+            times = [t for t, _, kind, _ in recoveries if kind == "lane_recover"]
+            return min(times) if times else None
+
+        def admit(seq: int, request: FleetRequest, now: float) -> None:
             reason, eligible = self._admission(
                 request, finish_times, running_requests()
             )
+            lost = False
+            if reason is None:
+                healthy = [lane for lane in eligible if lane.serving]
+                if not healthy:
+                    # Every eligible lane is down. Wait for a scheduled
+                    # repair if one exists; otherwise the request is lost
+                    # to the outage, not to admission policy.
+                    t_rec = next_lane_recovery()
+                    if t_rec is not None:
+                        heapq.heappush(
+                            pending,
+                            (max(request.arrival_s, t_rec), seq, request),
+                        )
+                        return
+                    reason = "no healthy device lane (pool lanes crashed)"
+                    lost = True
+                else:
+                    eligible = healthy
             if reason is not None:
                 records[seq] = FleetRequestRecord(
                     request_id=request.request_id,
@@ -508,35 +685,16 @@ class TTSFleet:
                     finish_s=request.arrival_s,
                     accepted=False,
                     reject_reason=reason,
+                    lost=lost,
+                    retries=retries_ct.get(seq, 0),
+                    redone_work_s=redone.get(seq, 0.0),
                     tenant=request.tenant,
                     slo_class=request.slo_class,
                     deadline_s=request.deadline_s,
                     ttft_slo_s=request.ttft_slo_s,
                 )
             else:
-                device = self._scheduler.choose_device(
-                    request, eligible, self._placement, request.arrival_s
-                )
-                sessions = self._scheduler.sessions_for(device.server, request)
-                handles = [
-                    SessionHandle(
-                        request_id=request.request_id,
-                        arrival_s=request.arrival_s,
-                        seq=seq,
-                        replica=replica,
-                        session=session,
-                        binding=ClockBinding(session.clock),
-                        device=device,
-                    )
-                    for replica, session in enumerate(sessions)
-                ]
-                states[seq] = _RequestState(
-                    request=request, seq=seq, handles=handles, device=device
-                )
-                device.live_requests += 1
-                device.planned_kv_bytes += self._kv_claims[
-                    (device.index, request.algorithm.n)
-                ]
+                place(request, seq, eligible, now=now)
             # Either way somebody new showed up: running sessions must stop
             # speculating (round-granular analogue of the arrival offsets).
             for st in states.values():
@@ -625,9 +783,17 @@ class TTSFleet:
             if self._scheduler.race_decided(handle, siblings):
                 winner = handle
             elif all(not h.session.state.live for h in siblings):
-                # Nobody produced a verified finish: the canonical replica
-                # (identical to what FIFO would have served) stands.
-                winner = next(h for h in siblings if h.replica == 0)
+                # Nobody produced a verified finish: the lowest-replica
+                # *finished* sibling stands — the canonical replica when
+                # it survived (identical to what FIFO would have served),
+                # else the surviving replica a lane crash left behind.
+                finished = [
+                    h for h in siblings
+                    if h.session.state is SessionState.DONE
+                ]
+                if not finished:
+                    return  # every replica crashed; recovery owns this one
+                winner = min(finished, key=lambda h: h.replica)
             else:
                 return  # race continues
             cancelled_work = 0.0
@@ -638,7 +804,7 @@ class TTSFleet:
                     h.session.cancel()
                 cancelled_work += h.session.clock.now
             for h in siblings:
-                lane.ledger.release(h.session.session_id)
+                (h.device or lane).ledger.release(h.session.session_id)
             result = winner.session.outcome.result
             committed = result.tokens.committed
             records[st.seq] = FleetRequestRecord(
@@ -651,8 +817,12 @@ class TTSFleet:
                 cancelled_work_s=cancelled_work,
                 # Device seconds across every session of the request; the
                 # start→finish window also contains other requests' rounds
-                # under interleaving schedulers.
-                device_time_s=winner.session.clock.now + cancelled_work,
+                # under interleaving schedulers. Work redone after a lane
+                # crash (failover/retry restarts) counts too.
+                device_time_s=(
+                    winner.session.clock.now + cancelled_work
+                    + redone.get(st.seq, 0.0)
+                ),
                 device_id=lane.device_id,
                 kv_swap_s=sum(h.kv_swap_s for h in siblings),
                 ttft_s=(
@@ -665,6 +835,9 @@ class TTSFleet:
                     if committed > 0
                     else None
                 ),
+                retries=retries_ct.get(st.seq, 0),
+                redone_work_s=redone.get(st.seq, 0.0),
+                failed_over=st.seq in failed_over_seqs,
                 tenant=st.request.tenant,
                 slo_class=st.request.slo_class,
                 deadline_s=st.request.deadline_s,
@@ -673,10 +846,7 @@ class TTSFleet:
             st.record = records[st.seq]
             results[st.request.request_id] = result
             finish_times.append(lane.clock.now)
-            lane.live_requests -= 1
-            lane.planned_kv_bytes -= self._kv_claims[
-                (lane.index, st.request.algorithm.n)
-            ]
+            release_claims(st)
             lane.requests_served += 1
 
         def drop(st: _RequestState) -> None:
@@ -695,7 +865,7 @@ class TTSFleet:
             for h in st.handles:
                 if h.session.state.live:
                     h.session.cancel()
-                lane.ledger.release(h.session.session_id)
+                (h.device or lane).ledger.release(h.session.session_id)
             records[st.seq] = FleetRequestRecord(
                 request_id=request.request_id,
                 arrival_s=request.arrival_s,
@@ -713,10 +883,7 @@ class TTSFleet:
                 ttft_slo_s=request.ttft_slo_s,
             )
             st.record = records[st.seq]
-            lane.live_requests -= 1
-            lane.planned_kv_bytes -= self._kv_claims[
-                (lane.index, request.algorithm.n)
-            ]
+            release_claims(st)
 
         def drop_expired(lane: PooledDevice) -> bool:
             """Open-loop shedding sweep: drop expired queued work on ``lane``.
@@ -737,13 +904,257 @@ class TTSFleet:
                     dropped_any = True
             return dropped_any
 
+        # -- fault handling ----------------------------------------------
+
+        def schedule_recovery(time_s: float, kind: str, lane: PooledDevice) -> None:
+            nonlocal recovery_seq
+            heapq.heappush(recoveries, (time_s, recovery_seq, kind, lane))
+            recovery_seq += 1
+
+        def lose_request(
+            seq: int,
+            request: FleetRequest,
+            now: float,
+            reason: str,
+            device_id: str | None = None,
+        ) -> None:
+            """Terminal fault outcome: the request leaves the system unserved."""
+            records[seq] = FleetRequestRecord(
+                request_id=request.request_id,
+                arrival_s=request.arrival_s,
+                start_s=request.arrival_s,
+                finish_s=max(now, request.arrival_s),
+                accepted=False,
+                lost=True,
+                reject_reason=reason,
+                retries=retries_ct.get(seq, 0),
+                redone_work_s=redone.get(seq, 0.0),
+                failed_over=seq in failed_over_seqs,
+                device_id=device_id,
+                tenant=request.tenant,
+                slo_class=request.slo_class,
+                deadline_s=request.deadline_s,
+                ttft_slo_s=request.ttft_slo_s,
+            )
+
+        def recover_request(
+            st: _RequestState, lane: PooledDevice, now: float
+        ) -> None:
+            """Apply the recovery policy to a request the crash left session-less.
+
+            All of the request's device seconds so far are charged as
+            redone work — the crash voided them — and the state is torn
+            down before the policy decides the request's next life:
+            ``shed`` fails fast, ``retry`` re-queues after backoff (until
+            the per-request budget runs out), ``failover`` re-places on a
+            healthy lane immediately (checkpoint-free restart).
+            """
+            seq, request = st.seq, st.request
+            redone[seq] = redone.get(seq, 0.0) + sum(
+                h.session.clock.now for h in st.handles
+            )
+            release_claims(st)
+            del states[seq]
+            if self._recovery == "shed":
+                lose_request(
+                    seq, request, now,
+                    f"lane {lane.device_id} crashed (recovery=shed)",
+                    device_id=lane.device_id,
+                )
+                return
+            if self._recovery == "retry":
+                attempt = retries_ct.get(seq, 0) + 1
+                try:
+                    delay = self._retry_policy.backoff(attempt)
+                except RetryExhaustedError as error:
+                    lose_request(
+                        seq, request, now,
+                        f"lane {lane.device_id} crashed; {error}",
+                        device_id=lane.device_id,
+                    )
+                    return
+                retries_ct[seq] = attempt
+                heapq.heappush(
+                    pending, (max(now + delay, request.arrival_s), seq, request)
+                )
+                return
+            # failover: restart on any healthy KV-feasible lane right now,
+            # or wait for a scheduled repair, or concede the request.
+            n = request.algorithm.n
+            healthy = [
+                target for target in lanes
+                if target.serving and self._kv_verdict(target, n) is None
+            ]
+            if healthy:
+                failed_over_seqs.add(seq)
+                place(request, seq, healthy, now=now, carry_start=st.start_s)
+                return
+            t_rec = next_lane_recovery()
+            if t_rec is not None:
+                failed_over_seqs.add(seq)
+                heapq.heappush(
+                    pending, (max(t_rec, request.arrival_s), seq, request)
+                )
+                return
+            lose_request(
+                seq, request, now,
+                f"lane {lane.device_id} crashed and no healthy lane remains",
+                device_id=lane.device_id,
+            )
+
+        def on_lane_crash(
+            lane: PooledDevice, time_s: float, mttr_s: float | None
+        ) -> None:
+            """A lane dies: resident KV is gone, its sessions are voided.
+
+            Requests racing replicas on surviving lanes keep running (the
+            crash must not fail a request that still has a live replica);
+            requests whose only sessions died go to the recovery policy.
+            """
+            if not lane.serving:
+                return  # coincident crash on an already-dead lane
+            lane.fail_lane(time_s)
+            current[lane.index] = None
+            if mttr_s is not None:
+                schedule_recovery(time_s + mttr_s, "lane_recover", lane)
+            for st in list(states.values()):
+                if st.finished:
+                    continue
+                dead = [h for h in st.handles if h.device is lane]
+                if not dead:
+                    continue
+                for h in dead:
+                    if h.session.state.live:
+                        h.session.cancel()
+                release_claims(st, only=lane)
+                survivors = [h for h in st.handles if h.device is not lane]
+                if any(h.session.state.live for h in survivors):
+                    continue  # the race carries on without the dead replica
+                done = [
+                    h for h in survivors
+                    if h.session.state is SessionState.DONE
+                ]
+                if done:
+                    settle(done[0], done[0].device)
+                else:
+                    recover_request(st, lane, time_s)
+
+        def reanchor_residents(lane: PooledDevice) -> None:
+            """Shift resident sessions past a fault that ate lane time.
+
+            A stall or forced eviction advances the lane clock underneath
+            its live handles; without re-anchoring, their next ``sync``
+            would reconstruct a timeline *before* the fault and trip the
+            clock's rewind guard. Rebinding preserves each session's
+            accumulated service and resumes it at the post-fault instant.
+            """
+            for st in states.values():
+                for handle in st.handles:
+                    if handle.device is lane and handle.session.state.live:
+                        handle.binding.rebind(lane.clock)
+
+        def apply_fault_event(event) -> None:
+            lane = lanes[event.lane]
+            if event.kind == "crash":
+                on_lane_crash(lane, event.time_s, event.mttr_s)
+                return
+            if not lane.serving:
+                return  # non-crash faults have nothing to act on when down
+            if event.kind == "stall":
+                lane.clock.advance_to(max(lane.clock.now, event.time_s))
+                lane.stall(event.duration_s)
+                reanchor_residents(lane)
+            elif event.kind == "link_degrade":
+                lane.degrade_link(event.factor)
+                if event.duration_s is not None:
+                    schedule_recovery(
+                        event.time_s + event.duration_s, "link_restore", lane
+                    )
+            elif event.kind == "kv_pressure":
+                evicted = lane.apply_kv_pressure(event.factor)
+                dt = sum(
+                    lane.link.transfer_time(num_bytes)
+                    for _, num_bytes in evicted
+                )
+                if dt:
+                    # The pressure spike's forced write-out is PCIe time on
+                    # the lane; victims pay their read-back on next resume.
+                    lane.clock.advance(dt)
+                    lane.kv_swap_s += dt
+                    reanchor_residents(lane)
+                if event.duration_s is not None:
+                    schedule_recovery(
+                        event.time_s + event.duration_s, "kv_relieve", lane
+                    )
+
+        def apply_recovery_event(
+            kind: str, lane: PooledDevice, time_s: float
+        ) -> None:
+            if kind == "lane_recover":
+                if not lane.serving:
+                    lane.recover_lane(time_s)
+            elif kind == "link_restore":
+                if lane.serving:
+                    lane.restore_link()
+            elif kind == "kv_relieve":
+                if lane.serving:
+                    lane.relieve_kv_pressure()
+
+        def next_fault_time() -> float | None:
+            times = []
+            if injector is not None:
+                head = injector.peek()
+                if head is not None:
+                    times.append(head)
+            if recoveries:
+                times.append(recoveries[0][0])
+            return min(times) if times else None
+
+        def pump_faults(up_to: float) -> None:
+            """Apply every fault onset and restoration due by ``up_to``.
+
+            Restorations win time ties so a lane repaired exactly when the
+            next fault (or arrival) lands is already serving again.
+            """
+            while True:
+                t_rec = recoveries[0][0] if recoveries else None
+                t_ev = injector.peek() if injector is not None else None
+                if (
+                    t_rec is not None
+                    and t_rec <= up_to
+                    and (t_ev is None or t_rec <= t_ev)
+                ):
+                    time_s, _, kind, lane = heapq.heappop(recoveries)
+                    apply_recovery_event(kind, lane, time_s)
+                    continue
+                if t_ev is not None and t_ev <= up_to:
+                    for event in injector.pop_due(t_ev):
+                        apply_fault_event(event)
+                    continue
+                return
+
         while True:
             act = acting_lane()
-            if pending and (act is None or pending[0][1].arrival_s <= act.clock.now):
+            t_fault = next_fault_time()
+            if t_fault is not None:
+                # Pump faults only while a serving horizon exists — a
+                # runnable lane or a pending arrival the fault could
+                # land before. With neither, the run is over: a
+                # rate-based (unbounded) clause must not keep the loop
+                # consuming its infinite Poisson stream, so trailing
+                # events after the last settlement are never applied.
+                horizon = [act.clock.now] if act is not None else []
+                if pending:
+                    horizon.append(pending[0][0])
+                if horizon and t_fault <= min(horizon):
+                    pump_faults(t_fault)
+                    continue
+            if pending and (act is None or pending[0][0] <= act.clock.now):
                 # Every lane with work has reached the arrival time (or the
                 # pool is idle — early admission: service still begins no
                 # sooner than the arrival itself).
-                admit(*pending.popleft())
+                t_queue, seq, request = heapq.heappop(pending)
+                admit(seq, request, t_queue)
                 continue
             if act is None:
                 break
@@ -817,6 +1228,8 @@ class TTSFleet:
                 else "off"
             ),
             late_policy=self._late_policy,
+            faults=self._faults_label,
+            recovery=self._recovery,
         )
 
 
@@ -832,6 +1245,10 @@ def run_trace(
     batching: str = "off",
     late_policy: str = "serve_late",
     max_in_flight: int | None = None,
+    faults: str = "off",
+    recovery: str = "failover",
+    retry_budget: int = 3,
+    retry_backoff_s: float = 1.0,
 ) -> FleetReport:
     """Drive an open-loop :class:`~repro.workloads.trace.Trace` end to end.
 
@@ -861,6 +1278,10 @@ def run_trace(
         kv_sharing=kv_sharing,
         batching=batching,
         late_policy=late_policy,
+        faults=faults,
+        recovery=recovery,
+        retry_budget=retry_budget,
+        retry_backoff_s=retry_backoff_s,
     )
     for request in trace:
         fleet.submit(

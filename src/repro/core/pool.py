@@ -45,13 +45,15 @@ pre-pool fleet (pinned by ``tests/goldens/fleet_fifo_goldens.json``).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from enum import Enum
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.server import TTSServer
 from repro.engine.clock import SimClock
-from repro.errors import ConfigError, SchedulingError
+from repro.errors import ConfigError, FaultError, SchedulingError
 from repro.hardware.memory import KVLedger, SharedKVLedger
+from repro.hardware.offload import OffloadLink
 from repro.utils.suggest import did_you_mean
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -61,6 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.workloads.problem import Dataset
 
 __all__ = [
+    "LaneHealth",
     "PooledDevice",
     "DevicePool",
     "PlacementPolicy",
@@ -71,6 +74,20 @@ __all__ = [
     "list_placements",
     "placement_descriptions",
 ]
+
+
+class LaneHealth(Enum):
+    """Lifecycle state of one pool lane.
+
+    ``UP`` serves normally, ``DEGRADED`` serves with a handicap (scaled
+    PCIe link and/or a shrunk KV budget), ``DOWN`` serves nothing — its
+    resident KV is gone and placement must route around it until
+    :meth:`PooledDevice.recover_lane` brings it back empty.
+    """
+
+    UP = "up"
+    DEGRADED = "degraded"
+    DOWN = "down"
 
 
 @dataclass
@@ -112,6 +129,19 @@ class PooledDevice:
     batch_iterations: int = 0
     batch_member_rounds: int = 0
     batch_peak_occupancy: int = 0
+    # -- fault state (driven by the fleet's fault injector) ----------------
+    health: LaneHealth = LaneHealth.UP
+    #: Multiplier on the lane's PCIe bandwidth (1.0 = nominal).
+    link_scale: float = 1.0
+    #: Current KV-budget shrink factor (1.0 = full budget).
+    kv_pressure_fraction: float = 1.0
+    #: Full KV capacity, remembered across pressure windows.
+    kv_base_capacity: int | None = None
+    failures: int = 0
+    recoveries: int = 0
+    downtime_s: float = 0.0
+    failed_at_s: float | None = None
+    stall_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kv_sharing not in ("off", "prefix"):
@@ -139,17 +169,129 @@ class PooledDevice:
 
     @property
     def link(self):
-        return self.server.link
+        if self.link_scale == 1.0:
+            return self.server.link
+        base = self.server.link
+        return OffloadLink(
+            device=replace(
+                base.device,
+                pcie_bandwidth=base.device.pcie_bandwidth * self.link_scale,
+            ),
+            fixed_latency=base.fixed_latency,
+        )
 
     @property
     def kv_load_fraction(self) -> float:
         """Planned KV claims of live requests over the lane's KV budget."""
         return self.planned_kv_bytes / self.ledger.capacity_bytes
 
+    # -- fault lifecycle ---------------------------------------------------
+
+    @property
+    def serving(self) -> bool:
+        """Whether the lane can run or accept sessions (not DOWN)."""
+        return self.health is not LaneHealth.DOWN
+
+    def fail_lane(self, now: float | None = None) -> list[str]:
+        """Kill the lane: mark it DOWN and drop every resident KV owner.
+
+        The lane clock advances to the crash instant (a dead lane cannot
+        be behind the failure it suffered); the ledger releases every
+        owner — under a :class:`~repro.hardware.memory.SharedKVLedger`
+        that walks the refcounted segment claims, so shared segments are
+        freed exactly when their last co-resident owner dies. Returns the
+        released owner ids so the fleet can map them back to requests.
+        """
+        if self.health is LaneHealth.DOWN:
+            raise FaultError(f"lane {self.device_id} is already down")
+        if now is not None:
+            self.clock.advance_to(max(now, self.clock.now))
+        self.health = LaneHealth.DOWN
+        self.failures += 1
+        self.failed_at_s = self.clock.now
+        released = list(self.ledger.owners)
+        for owner in released:
+            self.ledger.release(owner)
+        return released
+
+    def recover_lane(self, now: float | None = None) -> None:
+        """Bring a DOWN lane back UP, empty, at time ``now``.
+
+        The repair window (``now - failed_at``) accrues to ``downtime_s``
+        — the numerator of the fleet's MTTR metric. Degradations do not
+        survive a rebuild: link scale and KV budget reset to nominal.
+        """
+        if self.health is not LaneHealth.DOWN:
+            raise FaultError(
+                f"lane {self.device_id} is {self.health.value}, not down"
+            )
+        if now is not None:
+            self.clock.advance_to(max(now, self.clock.now))
+        self.downtime_s += self.clock.now - self.failed_at_s
+        self.recoveries += 1
+        self.failed_at_s = None
+        self.link_scale = 1.0
+        if self.kv_pressure_fraction != 1.0:
+            self.ledger.resize(self.kv_base_capacity)
+            self.kv_pressure_fraction = 1.0
+        self.health = LaneHealth.UP
+
+    def stall(self, duration_s: float) -> None:
+        """Freeze the lane for ``duration_s``: its clock jumps, work waits."""
+        if duration_s <= 0:
+            raise FaultError(f"stall duration must be > 0 (got {duration_s})")
+        self.clock.advance(duration_s)
+        self.stall_s += duration_s
+
+    def degrade_link(self, factor: float) -> None:
+        """Scale the lane's PCIe bandwidth by ``factor``."""
+        if not 0.0 < factor <= 1.0:
+            raise FaultError(f"link factor must be in (0, 1] (got {factor})")
+        self.link_scale = factor
+        self._refresh_health()
+
+    def restore_link(self) -> None:
+        """Return the PCIe link to nominal bandwidth."""
+        self.link_scale = 1.0
+        self._refresh_health()
+
+    def apply_kv_pressure(self, fraction: float) -> list[tuple[str, int]]:
+        """Shrink the KV budget to ``fraction`` of capacity; returns evictions.
+
+        Resident KV above the shrunk budget is evicted immediately (LRU,
+        shared segments by leaf frontier) — the eviction storm's PCIe
+        write-out is the caller's to charge; victims pay their restores
+        through the ordinary resume path.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise FaultError(f"kv fraction must be in (0, 1) (got {fraction})")
+        if self.kv_base_capacity is None:
+            self.kv_base_capacity = self.ledger.capacity_bytes
+        evicted = self.ledger.resize(
+            max(1, int(self.kv_base_capacity * fraction))
+        )
+        self.kv_pressure_fraction = fraction
+        self._refresh_health()
+        return evicted
+
+    def relieve_kv_pressure(self) -> None:
+        """Restore the full KV budget after a pressure window."""
+        if self.kv_pressure_fraction == 1.0:
+            return
+        self.ledger.resize(self.kv_base_capacity)
+        self.kv_pressure_fraction = 1.0
+        self._refresh_health()
+
+    def _refresh_health(self) -> None:
+        if self.health is LaneHealth.DOWN:
+            return
+        degraded = self.link_scale != 1.0 or self.kv_pressure_fraction != 1.0
+        self.health = LaneHealth.DEGRADED if degraded else LaneHealth.UP
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"PooledDevice({self.device_id}, t={self.clock.now:.3f}, "
-            f"live={self.live_requests})"
+            f"live={self.live_requests}, health={self.health.value})"
         )
 
 
@@ -273,15 +415,29 @@ class DevicePool:
         """
         source = handle.device
         if source is None:
-            raise SchedulingError("cannot migrate a handle not placed on any device")
+            raise SchedulingError(
+                "cannot migrate a handle not placed on any device "
+                f"(destination {destination.device_id})"
+            )
         if source not in self._devices or destination not in self._devices:
-            raise SchedulingError("migration source and destination must be pool lanes")
+            raise SchedulingError(
+                "migration source and destination must be pool lanes "
+                f"(source {source.device_id}, destination "
+                f"{destination.device_id})"
+            )
         if destination is source:
             return 0.0
+        if not destination.serving:
+            raise SchedulingError(
+                f"cannot migrate {handle.session.session_id} from "
+                f"{source.device_id} to dead lane {destination.device_id}"
+            )
         session = handle.session
         if not session.state.live:
             raise SchedulingError(
-                f"cannot migrate {session.session_id} in state {session.state.value}"
+                f"cannot migrate {session.session_id} in state "
+                f"{session.state.value} (source {source.device_id}, "
+                f"destination {destination.device_id})"
             )
         owner = session.session_id
         out_bytes = source.ledger.resident_of(owner)

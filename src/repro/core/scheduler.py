@@ -175,6 +175,23 @@ class RequestScheduler(ABC):
         """
         return placement.choose(request, devices, now)
 
+    def replica_lanes(
+        self,
+        request: "FleetRequest",
+        chosen: "PooledDevice",
+        devices: "Sequence[PooledDevice]",
+    ) -> "list[PooledDevice]":
+        """Lanes a request's racing replicas cycle across.
+
+        The fleet places replica ``i`` on ``lanes[i % len(lanes)]`` of the
+        returned non-empty list. The default co-locates every replica on
+        the chosen lane — the single-placement behaviour every
+        non-racing policy expects. A racing scheduler can spread its
+        replicas across lanes, which buys *implicit redundancy*: a lane
+        crash then kills one replica, not the request.
+        """
+        return [chosen]
+
     def sessions_for(
         self, server: "TTSServer", request: "FleetRequest"
     ) -> list[SolveSession]:
@@ -327,6 +344,20 @@ class FirstFinishScheduler(RequestScheduler):
                 )
             )
         return sessions
+
+    def replica_lanes(self, request, chosen, devices):
+        """Spread replicas across eligible lanes for implicit redundancy.
+
+        Replica 0 (canonical) stays on the placement-chosen lane; the
+        others cycle through the remaining eligible lanes by index, so on
+        a multi-lane pool a crash takes out at most one replica of the
+        race. On a single-lane pool this degrades to co-location.
+        """
+        others = sorted(
+            (lane for lane in devices if lane is not chosen),
+            key=lambda lane: lane.index,
+        )
+        return [chosen, *others]
 
     def pick(self, runnable: Sequence[SessionHandle], now: float) -> SessionHandle:
         front = min(runnable, key=_arrival_key)

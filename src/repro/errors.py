@@ -29,5 +29,13 @@ class SearchError(ReproError):
     """A test-time-scaling search algorithm failed or was misconfigured."""
 
 
+class FaultError(ReproError):
+    """A fault-injection operation was applied to a lane in the wrong state."""
+
+
+class RetryExhaustedError(FaultError):
+    """A request's per-request retry budget was spent without a completion."""
+
+
 class ModelLookupError(ReproError, KeyError):
     """An unknown model or device name was requested from a registry."""

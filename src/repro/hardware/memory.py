@@ -319,6 +319,20 @@ class KVLedger:
         self._stamp.pop(owner, None)
         return self._resident.pop(owner, 0)
 
+    def resize(self, capacity_bytes: int) -> list[tuple[str, int]]:
+        """Change the budget at runtime; shrinking evicts LRU owners to fit.
+
+        Models a KV pressure spike (a co-tenant claiming VRAM): residents
+        above the new budget are swapped out immediately — the returned
+        ``(owner, bytes)`` evictions are the storm the caller charges —
+        and pay restores through the ordinary resume path. Growing the
+        budget evicts nothing.
+        """
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self._capacity = int(capacity_bytes)
+        return self._evict_for(self.resident_bytes - self._capacity, keep="")
+
 
 @dataclass(frozen=True, slots=True)
 class KVSegment:
@@ -649,6 +663,21 @@ class SharedKVLedger(KVLedger):
         for node in self._owner_segs.pop(owner, set()):
             self._drop_claim(owner, node)
         return before - self.resident_bytes
+
+    def resize(self, capacity_bytes: int) -> list[tuple[str, int]]:
+        """Change the budget at runtime; shrinking evicts segments to fit.
+
+        Segment-granular twin of :meth:`KVLedger.resize`: LRU
+        leaf-frontier segments are swapped out until the resident set
+        fits the new budget (no path is pinned — a pressure spike spares
+        nobody), and victims pay restores when their owners next run.
+        """
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self._capacity = int(capacity_bytes)
+        return self._evict_segments_for(
+            self.resident_bytes - self._capacity, keep=set()
+        )
 
     def _private_node(self, owner: str) -> int:
         return stable_hash64("shared-kv-private", owner)

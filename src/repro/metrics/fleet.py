@@ -100,6 +100,16 @@ class FleetRequestRecord:
     #: deadline expired while it was still queued (``late_policy="drop"``);
     #: dropped requests also carry ``accepted=False``.
     dropped: bool = False
+    #: Fault accounting. ``retries`` counts crash-triggered re-queues
+    #: (recovery="retry"); ``redone_work_s`` is device time a crash voided
+    #: that had to be re-run; ``failed_over`` marks a checkpoint-free
+    #: re-placement onto a surviving lane; ``lost`` marks a request a
+    #: fault removed from the system unserved (lost requests also carry
+    #: ``accepted=False`` and a ``reject_reason`` naming the fault).
+    retries: int = 0
+    redone_work_s: float = 0.0
+    failed_over: bool = False
+    lost: bool = False
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -110,6 +120,12 @@ class FleetRequestRecord:
             raise ValueError("ttft_slo_s must be positive when set")
         if self.dropped and self.accepted:
             raise ValueError("a dropped request cannot also be accepted")
+        if self.lost and self.accepted:
+            raise ValueError("a lost request cannot also be accepted")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.redone_work_s < 0:
+            raise ValueError("redone_work_s must be non-negative")
         if self.accepted and self.start_s < self.arrival_s:
             raise ValueError("service cannot start before arrival")
         if self.accepted and self.finish_s < self.start_s:
@@ -220,6 +236,18 @@ class FleetMetrics:
     #: (1.0 when no lane ran the round batcher).
     batch_occupancy_mean: float = 1.0
     batch_occupancy_peak: int = 1
+    #: Availability under faults. ``availability`` is served over offered
+    #: (completed / requests — rejections, drops and losses all count
+    #: against it); ``mttr_s`` is mean lane downtime per completed repair
+    #: (None when no lane recovered); the rest total the per-request and
+    #: per-lane fault accounting.
+    requests_lost: int = 0
+    availability: float = 1.0
+    mttr_s: float | None = None
+    retries_total: int = 0
+    redone_work_s: float = 0.0
+    failed_over: int = 0
+    lane_failures: int = 0
 
     @classmethod
     def aggregate(
@@ -247,6 +275,13 @@ class FleetMetrics:
         dedup_ratio = 1.0
         occupancy_mean = 1.0
         occupancy_peak = 1
+        lane_failures = 0
+        mttr: float | None = None
+        if devices:
+            lane_failures = sum(d.failures for d in devices)
+            repairs = sum(d.recoveries for d in devices)
+            if repairs > 0:
+                mttr = sum(d.downtime_s for d in devices) / repairs
         if devices:
             shared_bytes = sum(d.kv_shared_bytes for d in devices)
             peak_resident = sum(d.kv_peak_resident_bytes for d in devices)
@@ -310,6 +345,13 @@ class FleetMetrics:
             tpot_mean_s=(sum(tpots) / len(tpots)) if tpots else 0.0,
             batch_occupancy_mean=occupancy_mean,
             batch_occupancy_peak=occupancy_peak,
+            requests_lost=sum(r.lost for r in records),
+            availability=len(accepted) / len(records),
+            mttr_s=mttr,
+            retries_total=sum(r.retries for r in records),
+            redone_work_s=sum(r.redone_work_s for r in records),
+            failed_over=sum(r.failed_over for r in records),
+            lane_failures=lane_failures,
         )
 
     def summary_rows(self) -> list[list[object]]:
@@ -336,6 +378,13 @@ class FleetMetrics:
             ["ttft p95 s", round(self.ttft_p95_s, 2)],
             ["tpot s", round(self.tpot_mean_s, 4)],
             ["batch occupancy", round(self.batch_occupancy_mean, 2)],
+            ["availability", round(self.availability, 3)],
+            ["requests lost", self.requests_lost],
+            ["lane failures", self.lane_failures],
+            ["mttr s", _opt(self.mttr_s)],
+            ["retries", self.retries_total],
+            ["redone work s", round(self.redone_work_s, 2)],
+            ["failed over", self.failed_over],
         ]
 
     def table(self, title: str | None = None) -> str:
@@ -377,6 +426,14 @@ class DeviceUtilization:
     batch_occupancy_mean: float = 1.0
     #: Widest generation batch the lane ran.
     batch_occupancy_peak: int = 1
+    #: Fault lifecycle counters: the lane's health at drain end
+    #: ("up"/"degraded"/"down"), crash and repair counts, total seconds
+    #: spent dead, and injected transient-stall seconds.
+    health: str = "up"
+    failures: int = 0
+    recoveries: int = 0
+    downtime_s: float = 0.0
+    stall_s: float = 0.0
 
     @classmethod
     def rollup(
@@ -418,6 +475,13 @@ class DeviceUtilization:
                         else 1.0
                     ),
                     batch_occupancy_peak=max(lane.batch_peak_occupancy, 1),
+                    health=getattr(
+                        getattr(lane, "health", None), "value", "up"
+                    ),
+                    failures=getattr(lane, "failures", 0),
+                    recoveries=getattr(lane, "recoveries", 0),
+                    downtime_s=getattr(lane, "downtime_s", 0.0),
+                    stall_s=getattr(lane, "stall_s", 0.0),
                 )
             )
         return tuple(rows)
@@ -442,13 +506,16 @@ def device_table(
             round(d.kv_dedup_ratio, 3),
             round(d.batch_occupancy_mean, 2),
             d.batch_occupancy_peak,
+            d.health,
+            d.failures,
+            round(d.downtime_s, 2),
         ]
         for d in devices
     ]
     return render_table(
         ["device", "requests", "busy s", "busy frac",
          "migr in", "migr out", "kv swap s", "kv shared MB", "dedup",
-         "occ mean", "occ peak"],
+         "occ mean", "occ peak", "health", "fail", "down s"],
         rows,
         title=title,
     )
@@ -723,6 +790,10 @@ class SLOSummary:
     queue_depth_mean: float
     overload_fraction: float
     makespan_s: float
+    #: Fault-induced losses and the served-over-offered ratio — the
+    #: availability the SLO view is judged against under fault injection.
+    requests_lost: int = 0
+    availability: float = 1.0
 
     @classmethod
     def aggregate(
@@ -762,6 +833,8 @@ class SLOSummary:
             queue_depth_mean=mean,
             overload_fraction=overload,
             makespan_s=makespan,
+            requests_lost=sum(r.lost for r in records),
+            availability=len(accepted) / len(records),
         )
 
     def summary_rows(self) -> list[list[object]]:
@@ -770,6 +843,8 @@ class SLOSummary:
             ["completed", self.completed],
             ["dropped", self.dropped],
             ["rejected", self.rejected],
+            ["lost", self.requests_lost],
+            ["availability", _pct(self.availability)],
             ["slo attainment", _pct(self.slo_attainment)],
             ["ttft attainment", _pct(self.ttft_attainment)],
             ["goodput under deadline /s", round(self.goodput_ud_rps, 4)],

@@ -221,3 +221,107 @@ class TestConfig:
         )[0]
         with pytest.raises(ConfigError, match="batching"):
             PooledDevice(index=lane.index, server=lane.server, batching="chunked")
+
+
+def two_lane_burst(faults="off", recovery="failover"):
+    """The burst workload spread over two lanes, batching continuously.
+
+    ``least_loaded`` placement splits the five requests across the pool
+    (dev0 batches two, dev1 batches three), so a lane crash hits one
+    running batch while the other keeps serving — the ISSUE 8 scenario
+    for settling a batch's surviving members.
+    """
+    dataset = build_dataset("amc23", seed=0, size=5)
+    fleet = TTSFleet(
+        baseline_config(memory_fraction=0.4, seed=0), dataset,
+        scheduler="round_robin", devices=["rtx4090"] * 2,
+        placement="least_loaded", batching="continuous",
+        faults=faults, recovery=recovery,
+    )
+    arrivals = generate_arrivals(5, 1.0, seed=0)
+    fleet.submit_stream(
+        list(dataset), build_algorithm("beam_search", 4), arrivals
+    )
+    return fleet.drain()
+
+
+class TestCrashDuringBatch:
+    """A lane crash mid-batch (ISSUE 8): members that already settled
+    keep their records bit-for-bit (their amortized share of the jointly
+    costed weight read is never re-billed), live members fail over into
+    the other lane's running batch, and the whole outcome is
+    deterministic."""
+
+    @pytest.fixture(scope="class")
+    def batch_baseline(self):
+        return two_lane_burst()
+
+    @pytest.fixture(scope="class")
+    def crash_spec(self, batch_baseline):
+        """Crash the busier lane after its first member settles but while
+        the rest of its batch is still decoding."""
+        by_lane = {}
+        for record in batch_baseline.records:
+            by_lane.setdefault(record.device_id, []).append(record)
+        lane_id, members = max(by_lane.items(), key=lambda kv: len(kv[1]))
+        finishes = sorted(r.finish_s for r in members)
+        assert len(finishes) >= 2, "need a multi-member batch to crash"
+        crash_at = (finishes[0] + finishes[1]) / 2.0
+        return f"crash:at={crash_at},lane={int(lane_id.split(':')[0][3:])}"
+
+    @pytest.fixture(scope="class")
+    def crashed(self, crash_spec):
+        return two_lane_burst(faults=crash_spec, recovery="failover")
+
+    def test_crash_hit_a_live_batch(self, crashed):
+        assert crashed.metrics.lane_failures == 1
+        assert any(r.failed_over for r in crashed.records)
+
+    def test_settled_member_keeps_record_bit_for_bit(
+        self, batch_baseline, crashed, crash_spec
+    ):
+        crash_at = float(crash_spec.split("at=")[1].split(",")[0])
+        settled = [r for r in batch_baseline.records if r.finish_s < crash_at]
+        assert settled, "a batch member should have settled pre-crash"
+        after = {r.request_id: r for r in crashed.records}
+        for before in settled:
+            assert after[before.request_id] == before
+
+    def test_live_members_fail_over_and_answer_identically(
+        self, batch_baseline, crashed
+    ):
+        failed_over = [r for r in crashed.records if r.failed_over]
+        assert failed_over
+        baseline_by_id = {r.request_id: r for r in batch_baseline.records}
+        for record in failed_over:
+            assert record.accepted and not record.lost
+            assert record.retries == 0  # failover, not retry
+            assert record.redone_work_s > 0.0
+            assert record.finish_s > baseline_by_id[record.request_id].finish_s
+            # Billed time = the re-run plus the crash-discarded work; a
+            # double-billed weight read would push it past both.
+            assert record.device_seconds > record.redone_work_s
+        assert answer_signature(crashed) == answer_signature(batch_baseline)
+
+    def test_all_requests_recovered(self, crashed):
+        assert crashed.metrics.availability == 1.0
+        assert crashed.metrics.requests_lost == 0
+        assert crashed.metrics.completed == len(crashed.records)
+
+    def test_crash_outcome_is_deterministic(self, crashed, crash_spec):
+        again = two_lane_burst(faults=crash_spec, recovery="failover")
+        assert again.records == crashed.records
+        assert answer_signature(again) == answer_signature(crashed)
+
+    def test_shed_loses_only_the_live_members(
+        self, batch_baseline, crashed, crash_spec
+    ):
+        shed = two_lane_burst(faults=crash_spec, recovery="shed")
+        lost = {r.request_id for r in shed.records if r.lost}
+        assert lost == {r.request_id for r in crashed.records if r.failed_over}
+        assert shed.metrics.availability < crashed.metrics.availability
+        crash_at = float(crash_spec.split("at=")[1].split(",")[0])
+        settled = [r for r in batch_baseline.records if r.finish_s < crash_at]
+        after = {r.request_id: r for r in shed.records}
+        for before in settled:
+            assert after[before.request_id] == before

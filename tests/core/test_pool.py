@@ -370,9 +370,92 @@ class TestMigration:
         if not session.state.live:
             pytest.skip("session never outgrew the small lane's budget")
         handle.binding.sync(pool[0].clock)
+        pool[0].ledger.charge_growth(
+            session.session_id, session.resident_kv_bytes
+        )
+        src_clock_before = pool[0].clock.now
         dst_clock_before = pool[1].clock.now
+        session_clock_before = session.clock.now
+        resident_before = pool[0].ledger.resident_of(session.session_id)
+        assert resident_before > 0
         with pytest.raises(CapacityError):
             pool.migrate(handle, pool[1])
-        # a refused migration must not have charged anything
+        # a refused migration is fully transactional: neither lane clock
+        # advanced, the session was not charged, and the source ledger
+        # still owns every byte (nothing leaked to the destination).
+        assert pool[0].clock.now == src_clock_before
         assert pool[1].clock.now == dst_clock_before
+        assert session.clock.now == session_clock_before
+        assert pool[0].ledger.resident_of(session.session_id) == resident_before
+        assert pool[1].ledger.resident_of(session.session_id) == 0
+        assert session.session_id in pool[0].ledger.owners
+        assert session.session_id not in pool[1].ledger.owners
         assert handle.device is pool[0]
+
+    def test_migrate_refused_keeps_shared_ledger_segment_claims(self):
+        """The transactional contract holds on the segment-claim path.
+
+        With ``kv_sharing="prefix"`` each lane's ledger tracks refcounted
+        prefix segments rather than opaque byte totals; a refused
+        migration must leave the source's segment claims untouched and
+        claim nothing on the destination.
+        """
+        dataset = build_dataset("amc23", seed=0, size=1)
+        problem = list(dataset)[0]
+        config = fasttts_config(memory_fraction=0.9, seed=0)
+        pool = DevicePool.build(
+            config, dataset, ["rtx4090", "rtx3070ti"], kv_sharing="prefix"
+        )
+        handle = make_handle(pool[0], problem, n=16)
+        session = handle.session
+        while (
+            session.state.live
+            and session.resident_kv_bytes <= pool[1].ledger.capacity_bytes
+        ):
+            session.step()
+            pool[0].ledger.charge_growth_segments(
+                session.session_id, session.kv_segments()
+            )
+        if not session.state.live:
+            pytest.skip("session never outgrew the small lane's budget")
+        handle.binding.sync(pool[0].clock)
+        src_clock_before = pool[0].clock.now
+        dst_clock_before = pool[1].clock.now
+        resident_before = pool[0].ledger.resident_of(session.session_id)
+        leaf_before = pool[0].ledger.owner_leaf(session.session_id)
+        assert resident_before > 0
+        with pytest.raises(CapacityError):
+            pool.migrate(handle, pool[1])
+        assert pool[0].clock.now == src_clock_before
+        assert pool[1].clock.now == dst_clock_before
+        assert pool[0].ledger.resident_of(session.session_id) == resident_before
+        assert pool[0].ledger.owner_leaf(session.session_id) == leaf_before
+        assert session.session_id in pool[0].ledger.owners
+        assert session.session_id not in pool[1].ledger.owners
+        assert handle.device is pool[0]
+
+    def test_migrate_error_messages_name_lanes(self):
+        pool, problem = self.pool()
+        handle = make_handle(pool[0], problem)
+        handle.session.cancel()
+        with pytest.raises(
+            SchedulingError,
+            match=r"source dev0:rtx4090, destination dev1:rtx4070ti",
+        ):
+            pool.migrate(handle, pool[1])
+        orphan = make_handle(pool[0], problem)
+        orphan.device = None
+        with pytest.raises(
+            SchedulingError, match=r"destination dev1:rtx4070ti"
+        ):
+            pool.migrate(orphan, pool[1])
+
+    def test_migrate_to_dead_lane_refused(self):
+        pool, problem = self.pool()
+        handle = make_handle(pool[0], problem)
+        handle.session.step()
+        pool[1].fail_lane(5.0)
+        with pytest.raises(
+            SchedulingError, match=r"dead lane dev1:rtx4070ti"
+        ):
+            pool.migrate(handle, pool[1])

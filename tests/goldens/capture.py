@@ -12,9 +12,9 @@ DevicePool fleet redesign) can assert byte-identity against the original
 monolithic implementation. ``--filter`` regenerates a named subset
 (``solve``, ``fleet``, ``sharing`` — the fleet runs with ``--kv-sharing
 off`` spelled out, ``batching`` — same with ``--batching off``,
-``openloop`` — same with ``--late-policy serve_late``) instead of
-everything — handy when one golden family legitimately changed and the
-others must provably not.
+``openloop`` — same with ``--late-policy serve_late``, ``faults`` — same
+with ``--faults off``) instead of everything — handy when one golden
+family legitimately changed and the others must provably not.
 """
 
 from __future__ import annotations
@@ -83,6 +83,8 @@ def capture_fleet(
     kv_sharing: str = "off",
     batching: str = "off",
     late_policy: str = "serve_late",
+    faults: str = "off",
+    recovery: str = "failover",
 ) -> dict:
     runs = {}
     for label, rate, max_in_flight in (
@@ -96,6 +98,7 @@ def capture_fleet(
             config, dataset, max_in_flight=max_in_flight,
             kv_sharing=kv_sharing, batching=batching,
             late_policy=late_policy,
+            faults=faults, recovery=recovery,
         )
         arrivals = generate_arrivals(len(dataset), rate, seed=FLEET_SEED)
         fleet.submit_stream(list(dataset), build_algorithm("beam_search", 4), arrivals)
@@ -131,6 +134,18 @@ def capture_batching() -> dict:
     return capture_fleet(batching="off")
 
 
+def capture_faults() -> dict:
+    """The fleet goldens again, with ``faults="off"`` spelled out.
+
+    Same contract as ``sharing``/``batching``/``openloop``: a fleet
+    constructed with explicit ``faults="off"`` builds no injector and
+    draws nothing from the keyed RNG, so regenerating this subset and
+    diffing is the CI assertion that the fault subsystem never perturbs
+    fault-free serving.
+    """
+    return capture_fleet(faults="off")
+
+
 def capture_openloop() -> dict:
     """The fleet goldens again, with ``late_policy="serve_late"`` spelled out.
 
@@ -150,6 +165,7 @@ GOLDENS = {
     "sharing": ("fleet_fifo_goldens.json", capture_sharing),
     "batching": ("fleet_fifo_goldens.json", capture_batching),
     "openloop": ("fleet_fifo_goldens.json", capture_openloop),
+    "faults": ("fleet_fifo_goldens.json", capture_faults),
 }
 
 
@@ -165,13 +181,14 @@ def main(argv: list[str] | None = None) -> None:
              f"one of: {', '.join(sorted(GOLDENS))}; default: all)",
     )
     args = parser.parse_args(argv)
-    # "sharing", "batching", and "openloop" are assertion-only subsets
-    # (byte-for-byte the fleet family with the dedup-off ledger /
-    # run-to-completion / serve-late path spelled out); the default run
-    # skips them so the fleet simulation is not executed four times.
+    # "sharing", "batching", "openloop", and "faults" are assertion-only
+    # subsets (byte-for-byte the fleet family with the dedup-off ledger /
+    # run-to-completion / serve-late / injector-off path spelled out); the
+    # default run skips them so the fleet simulation is not executed five
+    # times.
     selected = (
         args.filter if args.filter
-        else sorted(set(GOLDENS) - {"sharing", "batching", "openloop"})
+        else sorted(set(GOLDENS) - {"sharing", "batching", "openloop", "faults"})
     )
     for name in selected:
         filename, capture = GOLDENS[name]
