@@ -27,7 +27,12 @@ Commands
     ``--batching continuous`` coalesces co-resident sessions' rounds into
     jointly-costed batches per lane — weight reads amortize across the
     batch and the report gains TTFT/TPOT and occupancy rows (``off``
-    time-slices one session per round, byte-identical to the goldens).
+    time-slices one session per round, byte-identical to the goldens);
+    ``--lane MODEL@DEVICE[:DTYPE][:mem=FRACTION],...`` deploys a
+    *different* model pairing (optionally quantized) per lane and
+    ``--router {static,predicted,cascade}`` picks which lane class serves
+    each request — ``cascade`` escalates verifier-rejected cheap attempts
+    to the bigger class, billing the abandoned work honestly.
 ``trace``
     Open-loop trace-driven serving. ``trace generate`` synthesizes a
     multi-tenant arrival trace (``--tenant
@@ -68,6 +73,12 @@ from repro.core.server import TTSServer
 from repro.errors import ConfigError
 from repro.faults import fault_descriptions, parse_fault_spec
 from repro.metrics.fleet import compare_policies
+from repro.routing import (
+    build_router,
+    list_routers,
+    parse_lane_list,
+    router_descriptions,
+)
 from repro.utils.suggest import did_you_mean
 from repro.workloads.arrivals import arrival_descriptions
 from repro.workloads.tenants import TenantSpec, generate_trace
@@ -175,6 +186,11 @@ def _parse_device_list(spec: str | None) -> tuple[list[str] | None, str | None]:
     ``None`` spec means the flag was not given — the single ``--device``
     default applies. An empty list, blank entries, or unknown device names
     are errors (exit-2 convention, with a nearest-name suggestion).
+
+    Duplicate names are deliberately legal: ``--devices
+    rtx4090,rtx4090`` builds a two-lane pool of identical cards, and the
+    pool suffixes each lane id with its index (``dev0:rtx4090``,
+    ``dev1:rtx4090``) so ids never collide.
     """
     if spec is None:
         return None, None
@@ -191,6 +207,32 @@ def _parse_device_list(spec: str | None) -> tuple[list[str] | None, str | None]:
                 f"{did_you_mean(name, known)}; known: {', '.join(known)}"
             )
     return names, None
+
+
+def _parse_hetero_flags(args: argparse.Namespace):
+    """Validate ``--lane``/``--router``; returns ``(lanes, error)``.
+
+    ``--lane`` and ``--devices`` are mutually exclusive (a lane spec
+    already names its device); lane grammar and router names follow the
+    exit-2 convention with nearest-name suggestions.
+    """
+    lanes = None
+    if args.lane is not None:
+        if args.devices is not None:
+            return None, (
+                "--lane and --devices are mutually exclusive; "
+                "a lane spec already names its device"
+            )
+        try:
+            lanes = parse_lane_list(args.lane)
+        except ConfigError as exc:
+            return None, f"--lane: {exc}"
+    if args.router != "off":
+        try:
+            build_router(args.router)
+        except ConfigError as exc:
+            return None, f"--router: {exc}"
+    return lanes, None
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -213,6 +255,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if device_error is not None:
         print(f"error: {device_error}", file=sys.stderr)
         return 2
+    lanes, hetero_error = _parse_hetero_flags(args)
+    if hetero_error is not None:
+        print(f"error: {hetero_error}", file=sys.stderr)
+        return 2
     try:
         parse_fault_spec(args.faults)
     except ConfigError as exc:
@@ -220,8 +266,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         return 2
     factory = fasttts_config if args.system == "fasttts" else baseline_config
     config = factory(
-        device_name=(device_names[0] if device_names else args.device),
-        model_config=args.config,
+        device_name=(lanes[0].device_name if lanes
+                     else device_names[0] if device_names else args.device),
+        model_config=(lanes[0].model_config if lanes else args.config),
         memory_fraction=args.memory_fraction,
         seed=args.seed,
     )
@@ -243,21 +290,33 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             faults=args.faults,
             recovery=args.recovery,
             retry_budget=args.retry_budget,
+            lanes=lanes,
+            router=args.router,
         )
         fleet.submit_stream(list(dataset), algorithm, arrivals)
         reports[policy] = fleet.drain()
 
-    device_label = ",".join(device_names) if device_names else args.device
+    if lanes:
+        device_label = ",".join(spec.label for spec in lanes)
+        served = f"lanes {device_label}"
+    else:
+        device_label = ",".join(device_names) if device_names else args.device
+        served = f"{args.config} on {device_label}"
     workload = (f"{args.requests} requests @ {args.rate}/s ({args.arrivals}) "
-                f"| {args.system} {args.config} on {device_label} "
+                f"| {args.system} {served} "
                 f"| {args.algorithm} n={args.n}")
+    if args.router != "off":
+        workload += f" | router {args.router}"
     if args.kv_sharing != "off":
         workload += f" | kv-sharing {args.kv_sharing}"
     if args.batching != "off":
         workload += f" | batching {args.batching}"
     if args.faults != "off":
         workload += f" | faults {args.faults} | recovery {args.recovery}"
-    multi_device = device_names is not None and len(device_names) > 1
+    multi_device = (
+        (device_names is not None and len(device_names) > 1)
+        or (lanes is not None and len(lanes) > 1)
+    )
     if multi_device:
         workload += f" | placement {args.placement}"
     if len(reports) == 1:
@@ -265,6 +324,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(report.table(title=f"fleet [{policy}]: {workload}"))
         if multi_device:
             print(report.device_table(title="per-device utilization"))
+        if args.router != "off":
+            print(report.lane_class_table(title="per-lane-class rollup"))
+            decisions = ", ".join(
+                f"{cls}: {count}"
+                for cls, count in report.router_decisions().items()
+            )
+            print(f"router decisions: {decisions or 'none'}")
         for record in report.records:
             if record.lost:
                 print(f"lost {record.request_id}: {record.reject_reason}")
@@ -325,6 +391,10 @@ def _serve_trace(trace: Trace, args: argparse.Namespace) -> int:
     if device_error is not None:
         print(f"error: {device_error}", file=sys.stderr)
         return 2
+    lanes, hetero_error = _parse_hetero_flags(args)
+    if hetero_error is not None:
+        print(f"error: {hetero_error}", file=sys.stderr)
+        return 2
     try:
         parse_fault_spec(args.faults)
     except ConfigError as exc:
@@ -332,8 +402,9 @@ def _serve_trace(trace: Trace, args: argparse.Namespace) -> int:
         return 2
     factory = fasttts_config if args.system == "fasttts" else baseline_config
     config = factory(
-        device_name=(device_names[0] if device_names else args.device),
-        model_config=args.config,
+        device_name=(lanes[0].device_name if lanes
+                     else device_names[0] if device_names else args.device),
+        model_config=(lanes[0].model_config if lanes else args.config),
         memory_fraction=args.memory_fraction,
         seed=trace.seed,
     )
@@ -350,16 +421,28 @@ def _serve_trace(trace: Trace, args: argparse.Namespace) -> int:
         faults=args.faults,
         recovery=args.recovery,
         retry_budget=args.retry_budget,
+        lanes=lanes,
+        router=args.router,
     )
-    device_label = ",".join(device_names) if device_names else args.device
+    if lanes:
+        served = "lanes " + ",".join(spec.label for spec in lanes)
+    else:
+        device_label = ",".join(device_names) if device_names else args.device
+        served = f"{args.config} on {device_label}"
     workload = (f"{len(trace.requests)} requests / {len(trace.tenants)} tenants "
-                f"over {trace.horizon_s:.0f}s | {args.system} {args.config} "
-                f"on {device_label} | late-policy {args.late_policy}")
+                f"over {trace.horizon_s:.0f}s | {args.system} {served} "
+                f"| late-policy {args.late_policy}")
+    if args.router != "off":
+        workload += f" | router {args.router}"
     if args.faults != "off":
         workload += f" | faults {args.faults} | recovery {args.recovery}"
     print(report.table(title=f"trace [{args.scheduler}]: {workload}"))
-    if device_names is not None and len(device_names) > 1:
+    if (device_names is not None and len(device_names) > 1) or (
+        lanes is not None and len(lanes) > 1
+    ):
         print(report.device_table(title="per-device utilization"))
+    if args.router != "off":
+        print(report.lane_class_table(title="per-lane-class rollup"))
     print(report.tenant_table(title="per-tenant SLOs"))
     print(report.slo_summary().table(title="fleet SLO summary"))
     for record in report.records:
@@ -409,6 +492,9 @@ def _cmd_schedulers(args: argparse.Namespace) -> int:
     rows = [[name, desc] for name, desc in placement_descriptions().items()]
     print(render_table(["placement", "policy"], rows,
                        title="registered placement policies"))
+    rows = [[name, desc] for name, desc in router_descriptions().items()]
+    print(render_table(["router", "policy"], rows,
+                       title="registered routing policies"))
     return 0
 
 
@@ -523,7 +609,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission-control cap on queued+running requests")
     fleet.add_argument("--devices", default=None, metavar="NAME[,NAME...]",
                        help="comma-separated device pool (overrides --device), "
-                            "e.g. rtx4090,rtx4070ti")
+                            "e.g. rtx4090,rtx4070ti; duplicates are legal "
+                            "(lane ids are index-suffixed)")
+    router_help = "; ".join(
+        f"{name}: {desc}" for name, desc in router_descriptions().items()
+    )
+    fleet.add_argument("--lane", default=None, metavar="SPEC[,SPEC...]",
+                       help="comma-separated heterogeneous lane specs "
+                            "MODEL@DEVICE[:DTYPE][:mem=FRACTION], e.g. "
+                            "7B+1.5B@rtx4090,1.5B+1.5B@rtx4090:int8 "
+                            "(mutually exclusive with --devices)")
+    fleet.add_argument("--router", default="off", metavar="NAME",
+                       help="difficulty-aware model router across lane "
+                            "classes ('off' keeps the routerless path, "
+                            f"byte-identical to the goldens). {router_help}")
     fleet.add_argument("--placement", choices=list_placements(),
                        default="first_fit",
                        help="how new requests spread across the device pool")
@@ -589,7 +688,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--config", default="1.5B+1.5B")
         p.add_argument("--device", default="rtx4090", choices=list_devices())
         p.add_argument("--devices", default=None, metavar="NAME[,NAME...]",
-                       help="comma-separated device pool (overrides --device)")
+                       help="comma-separated device pool (overrides --device); "
+                            "duplicates are legal (lane ids index-suffixed)")
+        p.add_argument("--lane", default=None, metavar="SPEC[,SPEC...]",
+                       help="comma-separated heterogeneous lane specs "
+                            "MODEL@DEVICE[:DTYPE][:mem=FRACTION] "
+                            "(mutually exclusive with --devices)")
+        p.add_argument("--router", default="off", metavar="NAME",
+                       help="difficulty-aware model router across lane "
+                            "classes; one of off, "
+                            + ", ".join(list_routers()))
         p.add_argument("--system", choices=("baseline", "fasttts"),
                        default="fasttts")
         p.add_argument("--scheduler", choices=list_schedulers(),

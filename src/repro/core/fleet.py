@@ -71,6 +71,8 @@ from repro.errors import CapacityError, ConfigError, RetryExhaustedError
 from repro.faults import FaultInjector, FaultProcess, RetryPolicy, parse_fault_spec
 from repro.metrics.fleet import DeviceUtilization, FleetMetrics, FleetRequestRecord
 from repro.metrics.report import ProblemRunResult
+from repro.routing.lanes import LaneSpec
+from repro.routing.router import RoutingPolicy, build_router
 from repro.search.base import SearchAlgorithm
 from repro.utils.rng import KeyedRng
 from repro.workloads.problem import Dataset, Problem
@@ -155,6 +157,7 @@ class FleetReport:
     late_policy: str = "serve_late"
     faults: str = "off"
     recovery: str = "failover"
+    router: str = "off"
 
     @property
     def metrics(self) -> FleetMetrics:
@@ -195,6 +198,29 @@ class FleetReport:
         from repro.metrics.fleet import tenant_table
 
         return tenant_table(self.tenant_slos(), title=title)
+
+    def lane_classes(self):
+        """Per-lane-class accuracy/latency rollup (heterogeneous pools)."""
+        from repro.metrics.fleet import lane_class_rollup
+
+        return lane_class_rollup(self.records, self._correct_by_request())
+
+    def lane_class_table(self, title: str | None = None) -> str:
+        from repro.metrics.fleet import lane_class_table
+
+        return lane_class_table(self.lane_classes(), title=title)
+
+    def router_decisions(self) -> dict[str, int]:
+        """Initial routing decisions: lane class → requests sent there."""
+        from repro.metrics.fleet import router_decisions
+
+        return router_decisions(self.records)
+
+    def frontier_point(self, label: str):
+        """This run's point on the accuracy-vs-cost frontier."""
+        from repro.metrics.fleet import frontier_point
+
+        return frontier_point(label, self.records, self._correct_by_request())
 
 
 @dataclass(slots=True)
@@ -256,6 +282,8 @@ class TTSFleet:
         recovery: str = "failover",
         retry_budget: int = 3,
         retry_backoff_s: float = 1.0,
+        lanes: Sequence[LaneSpec] | None = None,
+        router: RoutingPolicy | str | None = "off",
     ) -> None:
         if max_in_flight is not None and max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1 when set")
@@ -293,11 +321,17 @@ class TTSFleet:
                 )
             pool = DevicePool.build(
                 config, dataset, device_names=devices,
-                kv_sharing=kv_sharing, batching=batching,
+                kv_sharing=kv_sharing, batching=batching, lanes=lanes,
             )
         elif config is not None or dataset is not None or devices is not None:
             raise ConfigError(
                 "pass either pool=... or (config, dataset[, devices]), not both"
+            )
+        elif lanes is not None:
+            raise ConfigError(
+                "a prepared pool owns its lanes; build it with "
+                "DevicePool.build(..., lanes=[LaneSpec...]) instead of "
+                "passing lanes to TTSFleet"
             )
         elif kv_sharing != "off":
             raise ConfigError(
@@ -330,6 +364,18 @@ class TTSFleet:
         self._placement = (
             build_placement(placement) if isinstance(placement, str) else placement
         )
+        # Routing: None / "off" leaves the drain loop byte-identical to
+        # the routerless fleet; a policy (by registry name or instance)
+        # narrows admission's eligible lanes per request and may escalate
+        # settled attempts to bigger-model lanes.
+        if router is None or router == "off":
+            self._router: RoutingPolicy | None = None
+        elif isinstance(router, str):
+            self._router = build_router(router)
+        else:
+            self._router = router
+        if self._router is not None:
+            self._router.bind(self._pool)
         self._queue: list[FleetRequest] = []
         self._next_id = 0
         # Allocation feasibility is a pure function of (device, n) for a
@@ -379,6 +425,11 @@ class TTSFleet:
     @property
     def recovery(self) -> str:
         return self._recovery
+
+    @property
+    def router(self) -> str:
+        """The bound routing policy's name (``"off"`` = no router)."""
+        return self._router.name if self._router is not None else "off"
 
     def submit(
         self,
@@ -544,6 +595,17 @@ class TTSFleet:
         retries_ct: dict[int, int] = {}
         redone: dict[int, float] = {}
         failed_over_seqs: set[int] = set()
+        # Routing accounting, also keyed by seq: the router's *initial*
+        # lane-class decision (immutable through crashes/escalations),
+        # cascade escalation counts, and device seconds of abandoned
+        # cheaper attempts. Disjoint from ``redone`` by construction:
+        # a crash voids its sessions into ``redone`` before recovery
+        # tears the state down, an escalation bills its (never-crashed)
+        # sessions into ``escalated_work`` — no session's clock can
+        # reach both.
+        routed_cls: dict[int, str] = {}
+        escalations_ct: dict[int, int] = {}
+        escalated_work: dict[int, float] = {}
 
         def running_requests() -> int:
             return sum(1 for st in states.values() if not st.finished)
@@ -648,6 +710,7 @@ class TTSFleet:
                     (handle.device.index, request.algorithm.n)
                 ]
                 st.claim_lanes.append(handle.device)
+            routed_cls.setdefault(seq, device.lane_class)
             states[seq] = st
             return st
 
@@ -677,6 +740,15 @@ class TTSFleet:
                     lost = True
                 else:
                     eligible = healthy
+                    if self._router is not None:
+                        # The router narrows to its preferred lane class;
+                        # placement/scheduling pick the concrete lane
+                        # within it. A policy returning nothing (defensive
+                        # guard) falls back to every healthy lane.
+                        eligible = (
+                            self._router.route(request, eligible, now)
+                            or eligible
+                        )
             if reason is not None:
                 records[seq] = FleetRequestRecord(
                     request_id=request.request_id,
@@ -688,6 +760,9 @@ class TTSFleet:
                     lost=lost,
                     retries=retries_ct.get(seq, 0),
                     redone_work_s=redone.get(seq, 0.0),
+                    routed_class=routed_cls.get(seq),
+                    escalations=escalations_ct.get(seq, 0),
+                    escalated_work_s=escalated_work.get(seq, 0.0),
                     tenant=request.tenant,
                     slo_class=request.slo_class,
                     deadline_s=request.deadline_s,
@@ -777,6 +852,36 @@ class TTSFleet:
                 )
             charge_swap(lane, handle, restored, evicted)
 
+        def escalate(
+            st: _RequestState, lane: PooledDevice, targets: list[PooledDevice]
+        ) -> None:
+            """Abandon a settled cheap attempt and re-place on a bigger class.
+
+            Every session of the attempt is cancelled and its device
+            seconds billed as escalated work (the honest cost of trying
+            small first); ledger claims are released on their lanes, and
+            the request re-enters placement on the escalation targets —
+            a full re-prefill through the bigger lane's ledger, exactly
+            like a fresh admission. The escalation instant is the
+            settling lane's clock, so the restart never predates the
+            rejected attempt's finish.
+            """
+            seq = st.seq
+            abandoned = 0.0
+            for h in st.handles:
+                if h.session.state.live:
+                    h.session.cancel()
+                abandoned += h.session.clock.now
+                (h.device or lane).ledger.release(h.session.session_id)
+            escalated_work[seq] = escalated_work.get(seq, 0.0) + abandoned
+            escalations_ct[seq] = escalations_ct.get(seq, 0) + 1
+            release_claims(st)
+            del states[seq]
+            place(
+                st.request, seq, targets,
+                now=lane.clock.now, carry_start=st.start_s,
+            )
+
         def settle(handle: SessionHandle, lane: PooledDevice) -> None:
             st = states[handle.seq]
             siblings = st.handles
@@ -796,6 +901,26 @@ class TTSFleet:
                 winner = min(finished, key=lambda h: h.replica)
             else:
                 return  # race continues
+            if self._router is not None and not self._router.accept(
+                st.request, winner
+            ):
+                # Verifier rejection: ask the router for bigger-class
+                # lanes this request could still plan on. With nowhere
+                # to escalate (already on the biggest class, or no
+                # feasible bigger lane), the attempt commits as-is.
+                n = st.request.algorithm.n
+                candidates = [
+                    target for target in lanes
+                    if target.serving and self._kv_verdict(target, n) is None
+                ]
+                targets = self._router.escalate_lanes(
+                    st.request,
+                    (winner.device or lane).model_cost_bytes,
+                    candidates,
+                )
+                if targets:
+                    escalate(st, lane, targets)
+                    return
             cancelled_work = 0.0
             for h in siblings:
                 if h is winner:
@@ -818,10 +943,12 @@ class TTSFleet:
                 # Device seconds across every session of the request; the
                 # start→finish window also contains other requests' rounds
                 # under interleaving schedulers. Work redone after a lane
-                # crash (failover/retry restarts) counts too.
+                # crash (failover/retry restarts) counts, as do abandoned
+                # cheaper attempts a cascade escalated past.
                 device_time_s=(
                     winner.session.clock.now + cancelled_work
                     + redone.get(st.seq, 0.0)
+                    + escalated_work.get(st.seq, 0.0)
                 ),
                 device_id=lane.device_id,
                 kv_swap_s=sum(h.kv_swap_s for h in siblings),
@@ -838,6 +965,10 @@ class TTSFleet:
                 retries=retries_ct.get(st.seq, 0),
                 redone_work_s=redone.get(st.seq, 0.0),
                 failed_over=st.seq in failed_over_seqs,
+                routed_class=routed_cls.get(st.seq),
+                lane_class=lane.lane_class,
+                escalations=escalations_ct.get(st.seq, 0),
+                escalated_work_s=escalated_work.get(st.seq, 0.0),
                 tenant=st.request.tenant,
                 slo_class=st.request.slo_class,
                 deadline_s=st.request.deadline_s,
@@ -877,6 +1008,7 @@ class TTSFleet:
                     f"deadline expired after {request.deadline_s:g}s in queue "
                     f"(late_policy=drop)"
                 ),
+                routed_class=routed_cls.get(st.seq),
                 tenant=request.tenant,
                 slo_class=request.slo_class,
                 deadline_s=request.deadline_s,
@@ -930,6 +1062,9 @@ class TTSFleet:
                 retries=retries_ct.get(seq, 0),
                 redone_work_s=redone.get(seq, 0.0),
                 failed_over=seq in failed_over_seqs,
+                routed_class=routed_cls.get(seq),
+                escalations=escalations_ct.get(seq, 0),
+                escalated_work_s=escalated_work.get(seq, 0.0),
                 device_id=device_id,
                 tenant=request.tenant,
                 slo_class=request.slo_class,
@@ -986,6 +1121,14 @@ class TTSFleet:
                 if target.serving and self._kv_verdict(target, n) is None
             ]
             if healthy:
+                if self._router is not None:
+                    # Failover honours the router: the restart lands on
+                    # the policy's preferred class among the survivors
+                    # (falling through the class order when the original
+                    # class died with the lane).
+                    healthy = (
+                        self._router.route(request, healthy, now) or healthy
+                    )
                 failed_over_seqs.add(seq)
                 place(request, seq, healthy, now=now, carry_start=st.start_s)
                 return
@@ -1230,6 +1373,7 @@ class TTSFleet:
             late_policy=self._late_policy,
             faults=self._faults_label,
             recovery=self._recovery,
+            router=self.router,
         )
 
 
@@ -1249,6 +1393,8 @@ def run_trace(
     recovery: str = "failover",
     retry_budget: int = 3,
     retry_backoff_s: float = 1.0,
+    lanes: Sequence[LaneSpec] | None = None,
+    router: RoutingPolicy | str | None = "off",
 ) -> FleetReport:
     """Drive an open-loop :class:`~repro.workloads.trace.Trace` end to end.
 
@@ -1282,6 +1428,8 @@ def run_trace(
         recovery=recovery,
         retry_budget=retry_budget,
         retry_backoff_s=retry_backoff_s,
+        lanes=lanes,
+        router=router,
     )
     for request in trace:
         fleet.submit(

@@ -60,6 +60,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.config import ServerConfig
     from repro.core.fleet import FleetRequest
     from repro.core.scheduler import SessionHandle
+    from repro.routing.lanes import LaneSpec
     from repro.workloads.problem import Dataset
 
 __all__ = [
@@ -160,8 +161,28 @@ class PooledDevice:
 
     @property
     def device_id(self) -> str:
-        """Stable lane identifier, e.g. ``"dev0:rtx4090"``."""
+        """Stable lane identifier, e.g. ``"dev0:rtx4090"``.
+
+        The ``dev{index}:`` prefix keeps ids unique even when several
+        lanes share one device spec (``--devices rtx4090,rtx4090``).
+        """
         return f"dev{self.index}:{self.spec.name}"
+
+    @property
+    def lane_class(self) -> str:
+        """The deployed model pairing this lane serves, e.g.
+        ``"qwen2.5-math-1.5b-int8+skywork-o1-prm-1.5b-int8"``.
+
+        Lanes of one class are interchangeable for a session (same search
+        results, :meth:`~repro.core.session.SolveSession.rebind_device`
+        works between them); routing and per-class metrics key off this.
+        """
+        return f"{self.server.gen_model.name}+{self.server.ver_model.name}"
+
+    @property
+    def model_cost_bytes(self) -> int:
+        """Deployed weight bytes of the lane's pairing — the routers' cost axis."""
+        return self.server.gen_model.weight_bytes + self.server.ver_model.weight_bytes
 
     @property
     def spec(self):
@@ -299,11 +320,15 @@ class DevicePool:
     """N simulated devices a fleet schedules sessions across.
 
     Build one from a shared config with :meth:`build` (one server per
-    device name, identical models/dataset/seed), or hand in prepared
-    :class:`PooledDevice` lanes. The pool validates that every lane serves
-    the same model pairing and seed — placement and migration both rely on
-    a request producing identical *search* results on any lane, with only
-    timing differing.
+    device name, identical models/dataset/seed), or from per-lane
+    :class:`~repro.routing.lanes.LaneSpec`s (``lanes=``) for a
+    *heterogeneous* pool — big-model lanes next to quantized small-model
+    lanes — or hand in prepared :class:`PooledDevice` lanes. The pool only
+    validates that every lane shares the seed and dataset: search results
+    are content-keyed, so any lane of one *lane class* (same deployed
+    pairing) serves a request identically, and the router decides which
+    class sees it. Migration stays within a lane class
+    (:meth:`migrate` refuses cross-class destinations).
     """
 
     def __init__(self, devices: Sequence[PooledDevice]) -> None:
@@ -313,14 +338,13 @@ class DevicePool:
         for lane in devices[1:]:
             server = lane.server
             if (
-                server.gen_model.name != reference.gen_model.name
-                or server.ver_model.name != reference.ver_model.name
-                or server.config.seed != reference.config.seed
+                server.config.seed != reference.config.seed
                 or server.dataset is not reference.dataset
             ):
                 raise ConfigError(
-                    "every pool device must share the model pairing, seed "
-                    "and dataset; only the device spec may differ "
+                    "every pool device must share the seed and dataset so "
+                    "answers stay content-keyed; models, dtypes and device "
+                    "specs may differ per lane "
                     f"(lane {lane.device_id} disagrees with "
                     f"{devices[0].device_id})"
                 )
@@ -334,6 +358,7 @@ class DevicePool:
         device_names: Sequence[str] | None = None,
         kv_sharing: str = "off",
         batching: str = "off",
+        lanes: "Sequence[LaneSpec] | None" = None,
     ) -> "DevicePool":
         """One lane per device name, servers sharing everything but the device.
 
@@ -345,7 +370,39 @@ class DevicePool:
         ``batching="continuous"`` marks every lane for the fleet's
         :class:`~repro.core.batcher.RoundBatcher`, which coalesces
         co-resident sessions' rounds into jointly-costed batches.
+        ``lanes=[LaneSpec(...), ...]`` builds a *heterogeneous* pool
+        instead: each lane gets its own model pairing, device, dtype
+        (via :func:`~repro.models.quantize.quantized`) and optional
+        per-lane memory fraction, all anchored on ``config``'s seed and
+        remaining knobs. Mutually exclusive with ``device_names``.
         """
+        if lanes is not None:
+            if device_names is not None:
+                raise ConfigError(
+                    "pass either lanes=[LaneSpec...] or device_names, not both"
+                )
+            if not lanes:
+                raise ConfigError("lanes must not be empty")
+            devices = []
+            for index, spec in enumerate(lanes):
+                overrides: dict[str, object] = {
+                    "device_name": spec.device_name,
+                    "model_config": spec.model_config,
+                    "quantization": spec.dtype,
+                }
+                if spec.memory_fraction is not None:
+                    overrides["memory_fraction"] = spec.memory_fraction
+                devices.append(
+                    PooledDevice(
+                        index=index,
+                        server=TTSServer(
+                            config.with_overrides(**overrides), dataset
+                        ),
+                        kv_sharing=kv_sharing,
+                        batching=batching,
+                    )
+                )
+            return cls(devices)
         if device_names is None:
             names = [config.device_name]
         else:
@@ -438,6 +495,18 @@ class DevicePool:
                 f"cannot migrate {session.session_id} in state "
                 f"{session.state.value} (source {source.device_id}, "
                 f"destination {destination.device_id})"
+            )
+        if destination.lane_class != source.lane_class:
+            # Refused before any ledger admission or clock advance: a
+            # session's KV encodes one model pairing's geometry; moving it
+            # across lane classes would silently change the request's
+            # answer. Escalation re-places (and re-prefills) instead.
+            raise SchedulingError(
+                "cannot migrate a session between lane classes: "
+                f"source {source.device_id} serves {source.lane_class}, "
+                f"destination {destination.device_id} serves "
+                f"{destination.lane_class}; escalate (re-place) the request "
+                "instead of migrating its KV"
             )
         owner = session.session_id
         out_bytes = source.ledger.resident_of(owner)

@@ -45,6 +45,8 @@ __all__ = [
     "DeviceUtilization",
     "TenantSLO",
     "SLOSummary",
+    "LaneClassStats",
+    "FrontierPoint",
     "device_table",
     "compare_policies",
     "tenant_slo_rollup",
@@ -52,6 +54,11 @@ __all__ = [
     "queue_depth_series",
     "ttft_p95",
     "latency_p95",
+    "lane_class_rollup",
+    "lane_class_table",
+    "router_decisions",
+    "frontier_point",
+    "frontier_table",
 ]
 
 
@@ -110,8 +117,24 @@ class FleetRequestRecord:
     redone_work_s: float = 0.0
     failed_over: bool = False
     lost: bool = False
+    #: Heterogeneous-pool routing. ``routed_class`` is the lane class the
+    #: router's *initial* decision sent the request to (unchanged by
+    #: crashes or escalations — it is the decision being audited);
+    #: ``lane_class`` is the class of the lane that finally served it;
+    #: ``escalations`` counts cascade re-placements onto bigger-model
+    #: lanes, and ``escalated_work_s`` is the device time of the
+    #: abandoned cheaper attempts (already included in
+    #: ``device_time_s`` — the honest bill).
+    routed_class: str | None = None
+    lane_class: str | None = None
+    escalations: int = 0
+    escalated_work_s: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.escalations < 0:
+            raise ValueError("escalations must be non-negative")
+        if self.escalated_work_s < 0:
+            raise ValueError("escalated_work_s must be non-negative")
         if self.arrival_s < 0:
             raise ValueError("arrival_s must be non-negative")
         if self.deadline_s is not None and self.deadline_s <= 0:
@@ -248,6 +271,10 @@ class FleetMetrics:
     redone_work_s: float = 0.0
     failed_over: int = 0
     lane_failures: int = 0
+    #: Cascade routing: total escalations to bigger-model lanes and the
+    #: device time of the abandoned cheaper attempts they billed.
+    escalations: int = 0
+    escalated_work_s: float = 0.0
 
     @classmethod
     def aggregate(
@@ -352,6 +379,8 @@ class FleetMetrics:
             redone_work_s=sum(r.redone_work_s for r in records),
             failed_over=sum(r.failed_over for r in records),
             lane_failures=lane_failures,
+            escalations=sum(r.escalations for r in records),
+            escalated_work_s=sum(r.escalated_work_s for r in records),
         )
 
     def summary_rows(self) -> list[list[object]]:
@@ -385,6 +414,8 @@ class FleetMetrics:
             ["retries", self.retries_total],
             ["redone work s", round(self.redone_work_s, 2)],
             ["failed over", self.failed_over],
+            ["escalations", self.escalations],
+            ["escalated work s", round(self.escalated_work_s, 2)],
         ]
 
     def table(self, title: str | None = None) -> str:
@@ -856,3 +887,209 @@ class SLOSummary:
 
     def table(self, title: str | None = None) -> str:
         return render_table(["metric", "value"], self.summary_rows(), title=title)
+
+
+# -- heterogeneous routing: per-lane-class rollups and the frontier -------
+
+
+@dataclass(frozen=True, slots=True)
+class LaneClassStats:
+    """One lane class's share of a heterogeneous fleet run.
+
+    ``routed`` counts requests the router's initial decision sent to the
+    class; ``completed``/``escalated_in`` count requests that *settled*
+    on it (an escalated request settles on a bigger class than it was
+    routed to). ``accuracy`` is judged over the class's settled requests
+    (None when the class settled nothing).
+    """
+
+    lane_class: str
+    routed: int
+    completed: int
+    escalated_in: int
+    correct: int
+    accuracy: float | None
+    latency_mean_s: float
+    latency_p95_s: float | None
+    device_time_mean_s: float
+
+    @classmethod
+    def aggregate(
+        cls,
+        lane_class: str,
+        routed: int,
+        records: Sequence[FleetRequestRecord],
+        correct_by_request: Mapping[str, bool],
+    ) -> "LaneClassStats":
+        sojourns = [r.sojourn_s for r in records]
+        correct = sum(
+            1 for r in records if correct_by_request.get(r.request_id, False)
+        )
+        return cls(
+            lane_class=lane_class,
+            routed=routed,
+            completed=len(records),
+            escalated_in=sum(1 for r in records if r.escalations > 0),
+            correct=correct,
+            accuracy=(correct / len(records)) if records else None,
+            latency_mean_s=(
+                sum(sojourns) / len(sojourns) if sojourns else 0.0
+            ),
+            latency_p95_s=_guarded_p95(sojourns),
+            device_time_mean_s=(
+                sum(r.device_seconds for r in records) / len(records)
+                if records else 0.0
+            ),
+        )
+
+
+def lane_class_rollup(
+    records: Sequence[FleetRequestRecord],
+    correct_by_request: Mapping[str, bool],
+) -> tuple[LaneClassStats, ...]:
+    """Per-lane-class accuracy/latency rows, sorted by class name.
+
+    Records that never reached a lane (rejected, dropped before service)
+    contribute to their routed class's ``routed`` count but to no class's
+    completion statistics.
+    """
+    classes = sorted(
+        {r.lane_class for r in records if r.lane_class is not None}
+        | {r.routed_class for r in records if r.routed_class is not None}
+    )
+    return tuple(
+        LaneClassStats.aggregate(
+            cls_name,
+            sum(1 for r in records if r.routed_class == cls_name),
+            [r for r in records if r.accepted and r.lane_class == cls_name],
+            correct_by_request,
+        )
+        for cls_name in classes
+    )
+
+
+def lane_class_table(
+    stats: Sequence[LaneClassStats], title: str | None = None
+) -> str:
+    """Render the per-lane-class rollup of one heterogeneous fleet run."""
+    if not stats:
+        raise ValueError("need at least one lane class to tabulate")
+    rows = [
+        [
+            s.lane_class,
+            s.routed,
+            s.completed,
+            s.escalated_in,
+            _pct(s.accuracy),
+            round(s.latency_mean_s, 2),
+            _opt(s.latency_p95_s),
+            round(s.device_time_mean_s, 2),
+        ]
+        for s in stats
+    ]
+    return render_table(
+        ["lane class", "routed", "done", "escal in", "accuracy",
+         "latency mean s", "latency p95 s", "device s"],
+        rows,
+        title=title,
+    )
+
+
+def router_decisions(
+    records: Sequence[FleetRequestRecord],
+) -> dict[str, int]:
+    """Initial routing decisions: lane class → requests sent there.
+
+    Escalations and crash failovers do not move a request between keys —
+    the map audits what the router decided at admission, sorted by class
+    name for stable rendering.
+    """
+    counts: dict[str, int] = {}
+    for record in records:
+        if record.routed_class is not None:
+            counts[record.routed_class] = counts.get(record.routed_class, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+@dataclass(frozen=True, slots=True)
+class FrontierPoint:
+    """One serving configuration's position on the accuracy-cost plane.
+
+    ``accuracy`` is correct answers over *all* offered requests (shed or
+    rejected work scores zero — a pool does not get accuracy credit for
+    requests it refused); the cost axes are mean sojourn latency and mean
+    device seconds per completed request.
+    """
+
+    label: str
+    requests: int
+    accuracy: float
+    latency_mean_s: float
+    device_time_mean_s: float
+
+    def dominates(
+        self, other: "FrontierPoint", accuracy_tolerance: float = 0.0
+    ) -> bool:
+        """Pareto dominance with an accuracy tolerance.
+
+        True when this point is at least as accurate as ``other`` (within
+        ``accuracy_tolerance``), no slower on mean latency, and strictly
+        better on at least one of the two axes.
+        """
+        at_least_as_accurate = (
+            self.accuracy >= other.accuracy - accuracy_tolerance
+        )
+        no_slower = self.latency_mean_s <= other.latency_mean_s
+        strictly_better = (
+            self.accuracy > other.accuracy
+            or self.latency_mean_s < other.latency_mean_s
+        )
+        return at_least_as_accurate and no_slower and strictly_better
+
+
+def frontier_point(
+    label: str,
+    records: Sequence[FleetRequestRecord],
+    correct_by_request: Mapping[str, bool],
+) -> FrontierPoint:
+    """Collapse one run into its accuracy-vs-cost frontier point."""
+    if not records:
+        raise ValueError("cannot place an empty run on the frontier")
+    accepted = [r for r in records if r.accepted]
+    correct = sum(
+        1 for r in accepted if correct_by_request.get(r.request_id, False)
+    )
+    sojourns = [r.sojourn_s for r in accepted]
+    return FrontierPoint(
+        label=label,
+        requests=len(records),
+        accuracy=correct / len(records),
+        latency_mean_s=(sum(sojourns) / len(sojourns)) if sojourns else 0.0,
+        device_time_mean_s=(
+            sum(r.device_seconds for r in accepted) / len(accepted)
+            if accepted else 0.0
+        ),
+    )
+
+
+def frontier_table(
+    points: Sequence[FrontierPoint], title: str | None = None
+) -> str:
+    """Accuracy-vs-cost frontier across serving configurations."""
+    if not points:
+        raise ValueError("need at least one frontier point to tabulate")
+    rows = [
+        [
+            p.label,
+            p.requests,
+            _pct(p.accuracy),
+            round(p.latency_mean_s, 2),
+            round(p.device_time_mean_s, 2),
+        ]
+        for p in points
+    ]
+    return render_table(
+        ["pool", "req", "accuracy", "latency mean s", "device s"],
+        rows,
+        title=title,
+    )

@@ -9,6 +9,7 @@ from repro.models.zoo import (
     QWEN25_MATH_7B,
     SKYWORK_PRM_1P5B,
     get_model,
+    list_model_configs,
     list_models,
     model_pair,
     register_model,
@@ -22,6 +23,7 @@ __all__ = [
     "decode_step_cost",
     "get_model",
     "list_models",
+    "list_model_configs",
     "register_model",
     "model_pair",
     "QWEN25_MATH_1P5B",

@@ -39,6 +39,13 @@ def quantized(model: ModelSpec, dtype: str) -> ModelSpec:
     except KeyError:
         known = ", ".join(sorted(DTYPE_BYTES))
         raise ValueError(f"unknown dtype {dtype!r}; known dtypes: {known}") from None
-    if dtype_bytes == model.dtype_bytes:
+    if dtype == model.dtype:
         return model
-    return replace(model, name=f"{model.name}-{dtype}", dtype_bytes=dtype_bytes)
+    # Equal byte widths (fp16 -> bf16) still deserve a truthful name: lane
+    # labels and metrics keys are derived from spec names. Strip any previous
+    # quantization suffix so chained requantization does not stack suffixes.
+    base = model.name
+    suffix = f"-{model.dtype}"
+    if base.endswith(suffix):
+        base = base[: -len(suffix)]
+    return replace(model, name=f"{base}-{dtype}", dtype=dtype, dtype_bytes=dtype_bytes)

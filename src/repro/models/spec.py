@@ -43,10 +43,13 @@ class ModelSpec:
     intermediate_size: int
     vocab_size: int
     dtype_bytes: int = 2  # FP16/BF16 deployment, as in the paper
+    dtype: str = "fp16"  # deployment dtype name; must agree with dtype_bytes
 
     def __post_init__(self) -> None:
         if self.param_count <= 0:
             raise ValueError("param_count must be positive")
+        if not self.dtype:
+            raise ValueError("dtype must be a non-empty name")
         if self.n_kv_heads > self.n_heads:
             raise ValueError("n_kv_heads cannot exceed n_heads")
         if self.n_heads % self.n_kv_heads != 0:

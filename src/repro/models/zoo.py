@@ -25,6 +25,7 @@ __all__ = [
     "list_models",
     "register_model",
     "model_pair",
+    "list_model_configs",
 ]
 
 _REGISTRY: dict[str, ModelSpec] = {}
@@ -121,6 +122,11 @@ _PAIRS: dict[str, tuple[str, str]] = {
     "1.5B+7B": ("qwen2.5-math-1.5b", "math-shepherd-mistral-7b"),
     "7B+1.5B": ("qwen2.5-math-7b", "skywork-o1-prm-1.5b"),
 }
+
+
+def list_model_configs() -> list[str]:
+    """Sorted names of the paper's generator+verifier configurations."""
+    return sorted(_PAIRS)
 
 
 def model_pair(config: str) -> tuple[ModelSpec, ModelSpec]:

@@ -168,6 +168,51 @@ class TestCommands:
         assert "per-device utilization" in out
         assert "dev0:rtx4090" in out and "dev1:rtx4070ti" in out
 
+    def test_fleet_duplicate_devices_get_distinct_lane_ids(self, capsys):
+        # Duplicate --devices entries are deliberately legal: fault drills
+        # span pools of identical cards. Each lane id is index-suffixed so
+        # duplicates never collide.
+        code = main([
+            "fleet", "--dataset", "amc23", "--requests", "2", "-n", "4",
+            "--rate", "0.05", "--memory-fraction", "0.9",
+            "--devices", "rtx4090,rtx4090", "--placement", "least_loaded",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dev0:rtx4090" in out and "dev1:rtx4090" in out
+
+    def test_fleet_lane_pool(self, capsys):
+        code = main([
+            "fleet", "--dataset", "amc23", "--requests", "2", "-n", "4",
+            "--rate", "0.05", "--memory-fraction", "0.9",
+            "--lane", "7B+1.5B@rtx4090,1.5B+1.5B@rtx4090:int8",
+            "--router", "cascade", "--placement", "least_loaded",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "router cascade" in out
+        assert "per-lane-class rollup" in out
+        assert "router decisions" in out
+        assert "escalations" in out
+
+    def test_fleet_lane_and_devices_exclusive(self, capsys):
+        assert main([
+            "fleet", "--lane", "7B+1.5B@rtx4090", "--devices", "rtx4090",
+        ]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_fleet_bad_lane_spec_rejected(self, capsys):
+        assert main(["fleet", "--lane", "7B+1.5B"]) == 2
+        assert "missing '@'" in capsys.readouterr().err
+        assert main(["fleet", "--lane", "7B+1.5B@rtx4090:int88"]) == 2
+        assert "did you mean 'int8'" in capsys.readouterr().err
+
+    def test_fleet_unknown_router_suggests(self, capsys):
+        assert main(["fleet", "--router", "cascde"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown router 'cascde'" in err
+        assert "did you mean 'cascade'?" in err
+
     def test_schedulers_listing(self, capsys):
         assert main(["schedulers"]) == 0
         out = capsys.readouterr().out
@@ -175,6 +220,8 @@ class TestCommands:
             assert policy in out
         for placement in ("first_fit", "least_loaded", "kv_balanced"):
             assert placement in out
+        for router in ("static", "predicted", "cascade"):
+            assert router in out
 
     def test_devices_listing(self, capsys):
         assert main(["devices"]) == 0
@@ -283,3 +330,23 @@ class TestTraceCommand:
     def test_max_in_flight_validated(self, capsys):
         assert main(["trace", "run", "--max-in-flight", "0"]) == 2
         assert "--max-in-flight" in capsys.readouterr().err
+
+    def test_trace_run_with_lanes_and_router(self, capsys):
+        code = main([
+            "trace", "run", "--memory-fraction", "0.9",
+            "--tenant", "t0:rate=0.2,n=4,deadline=300",
+            "--requests", "2", "--seed", "0",
+            "--lane", "7B+1.5B@rtx4090,1.5B+1.5B@rtx4090:int8",
+            "--router", "static", "--placement", "least_loaded",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "router static" in out
+        assert "per-lane-class rollup" in out
+
+    def test_trace_lane_and_devices_exclusive(self, capsys):
+        assert main([
+            "trace", "run", "--lane", "7B+1.5B@rtx4090",
+            "--devices", "rtx4090",
+        ]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err

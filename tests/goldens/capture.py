@@ -13,8 +13,9 @@ monolithic implementation. ``--filter`` regenerates a named subset
 (``solve``, ``fleet``, ``sharing`` — the fleet runs with ``--kv-sharing
 off`` spelled out, ``batching`` — same with ``--batching off``,
 ``openloop`` — same with ``--late-policy serve_late``, ``faults`` — same
-with ``--faults off``) instead of everything — handy when one golden
-family legitimately changed and the others must provably not.
+with ``--faults off``, ``routing`` — same with ``--router off``) instead
+of everything — handy when one golden family legitimately changed and
+the others must provably not.
 """
 
 from __future__ import annotations
@@ -85,6 +86,7 @@ def capture_fleet(
     late_policy: str = "serve_late",
     faults: str = "off",
     recovery: str = "failover",
+    router: str = "off",
 ) -> dict:
     runs = {}
     for label, rate, max_in_flight in (
@@ -99,6 +101,7 @@ def capture_fleet(
             kv_sharing=kv_sharing, batching=batching,
             late_policy=late_policy,
             faults=faults, recovery=recovery,
+            router=router,
         )
         arrivals = generate_arrivals(len(dataset), rate, seed=FLEET_SEED)
         fleet.submit_stream(list(dataset), build_algorithm("beam_search", 4), arrivals)
@@ -146,6 +149,18 @@ def capture_faults() -> dict:
     return capture_fleet(faults="off")
 
 
+def capture_routing() -> dict:
+    """The fleet goldens again, with ``router="off"`` spelled out.
+
+    Same contract as the other assertion-only families: a single-lane
+    homogeneous fleet constructed with explicit ``router="off"`` builds
+    no routing policy and never narrows the eligible-lane set, so
+    regenerating this subset and diffing is the CI assertion that the
+    heterogeneous-routing subsystem never perturbs routerless serving.
+    """
+    return capture_fleet(router="off")
+
+
 def capture_openloop() -> dict:
     """The fleet goldens again, with ``late_policy="serve_late"`` spelled out.
 
@@ -166,6 +181,7 @@ GOLDENS = {
     "batching": ("fleet_fifo_goldens.json", capture_batching),
     "openloop": ("fleet_fifo_goldens.json", capture_openloop),
     "faults": ("fleet_fifo_goldens.json", capture_faults),
+    "routing": ("fleet_fifo_goldens.json", capture_routing),
 }
 
 
@@ -181,14 +197,17 @@ def main(argv: list[str] | None = None) -> None:
              f"one of: {', '.join(sorted(GOLDENS))}; default: all)",
     )
     args = parser.parse_args(argv)
-    # "sharing", "batching", "openloop", and "faults" are assertion-only
-    # subsets (byte-for-byte the fleet family with the dedup-off ledger /
-    # run-to-completion / serve-late / injector-off path spelled out); the
-    # default run skips them so the fleet simulation is not executed five
-    # times.
+    # "sharing", "batching", "openloop", "faults", and "routing" are
+    # assertion-only subsets (byte-for-byte the fleet family with the
+    # dedup-off ledger / run-to-completion / serve-late / injector-off /
+    # router-off path spelled out); the default run skips them so the
+    # fleet simulation is not executed six times.
     selected = (
         args.filter if args.filter
-        else sorted(set(GOLDENS) - {"sharing", "batching", "openloop", "faults"})
+        else sorted(
+            set(GOLDENS)
+            - {"sharing", "batching", "openloop", "faults", "routing"}
+        )
     )
     for name in selected:
         filename, capture = GOLDENS[name]
