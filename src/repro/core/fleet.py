@@ -65,7 +65,7 @@ from repro.core.config import ServerConfig
 from repro.core.pool import DevicePool, PlacementPolicy, PooledDevice, build_placement
 from repro.core.scheduler import RequestScheduler, SessionHandle, build_scheduler
 from repro.core.server import TTSServer
-from repro.core.session import SessionState
+from repro.core.session import SessionState, planned_kv_segments
 from repro.engine.clock import ClockBinding
 from repro.errors import CapacityError, ConfigError, RetryExhaustedError
 from repro.faults import FaultInjector, FaultProcess, RetryPolicy, parse_fault_spec
@@ -232,6 +232,10 @@ class _RequestState:
     tracks which lanes currently hold this request's live-count and
     planned-KV claims, so crash handling can release exactly the dead
     lane's share and settlement the rest — never double-counting.
+    ``claim_bytes`` records what each lane was actually billed (unique
+    planned bytes on sharing lanes, the full claim elsewhere) and
+    ``claim_segs`` the planned segments noted there, so releases undo
+    exactly what placement charged.
     """
 
     request: FleetRequest
@@ -241,6 +245,8 @@ class _RequestState:
     start_s: float | None = None
     record: FleetRequestRecord | None = None
     claim_lanes: list[PooledDevice] = field(default_factory=list)
+    claim_bytes: dict[int, int] = field(default_factory=dict)
+    claim_segs: dict[int, tuple] = field(default_factory=dict)
 
     @property
     def finished(self) -> bool:
@@ -384,6 +390,10 @@ class TTSFleet:
         # ledger bookkeeping and deny-mode admission.
         self._kv_verdicts: dict[tuple[int, int], str | None] = {}
         self._kv_claims: dict[tuple[int, int], int] = {}
+        # Planned prompt-root segments per (lane, problem): what a session
+        # for that problem would register at admission, used by dedup-aware
+        # billing and the prefix_affinity placement counters.
+        self._planned_memo: dict[tuple[int, str], tuple] = {}
 
     # -- submission ------------------------------------------------------
 
@@ -488,6 +498,30 @@ class TTSFleet:
                 self._kv_claims[key] = plan.kv_total_bytes
         return self._kv_verdicts[key]
 
+    def _planned_claims(self, lane: PooledDevice, problem: Problem) -> tuple:
+        """The prompt-root KV segments a session would register on ``lane``."""
+        key = (lane.index, problem.problem_id)
+        if key not in self._planned_memo:
+            self._planned_memo[key] = planned_kv_segments(lane.server, problem)
+        return self._planned_memo[key]
+
+    def _billable_claim(self, lane: PooledDevice, request: FleetRequest) -> int:
+        """The planned-KV bytes ``lane`` actually charges for ``request``.
+
+        On sharing lanes this is the *unique* planned bytes: the full
+        claim minus prefix bytes already resident (or already planned by
+        a co-admitted same-prefix request) on that lane. Non-segment
+        ledgers have nothing to deduplicate, so the full claim is billed
+        and the ``--kv-sharing off`` path stays byte-identical.
+        """
+        claim = self._kv_claims[(lane.index, request.algorithm.n)]
+        if not lane.ledger.segment_granular:
+            return claim
+        overlap = lane.prefix_overlap_bytes(
+            self._planned_claims(lane, request.problem)
+        )
+        return max(0, claim - overlap)
+
     def _admission(
         self,
         request: FleetRequest,
@@ -518,7 +552,7 @@ class TTSFleet:
         if self._oversubscription == "deny":
             fitting = [
                 lane for lane in eligible
-                if lane.planned_kv_bytes + self._kv_claims[(lane.index, n)]
+                if lane.planned_kv_bytes + self._billable_claim(lane, request)
                 <= lane.ledger.capacity_bytes
             ]
             if not fitting:
@@ -641,9 +675,10 @@ class TTSFleet:
                 if only is not None and lane is not only:
                     continue
                 lane.live_requests -= 1
-                lane.planned_kv_bytes -= self._kv_claims[
-                    (lane.index, st.request.algorithm.n)
-                ]
+                lane.planned_kv_bytes -= st.claim_bytes.pop(lane.index)
+                segs = st.claim_segs.pop(lane.index, None)
+                if segs is not None:
+                    lane.forget_planned_segments(segs)
                 st.claim_lanes.remove(lane)
 
         def place(
@@ -700,16 +735,32 @@ class TTSFleet:
                 request=request, seq=seq, handles=handles, device=device,
                 start_s=carry_start,
             )
+            # Affinity accounting happens before any claim registration so
+            # a request's own planned segments never count as a "hit".
+            device.placements += 1
+            if device.ledger.segment_granular and device.prefix_affinity_bytes(
+                self._planned_claims(device, request.problem)
+            ) > 0:
+                device.affinity_hits += 1
             seen: set[int] = set()
             for handle in handles:
                 if handle.device.index in seen:
                     continue
                 seen.add(handle.device.index)
-                handle.device.live_requests += 1
-                handle.device.planned_kv_bytes += self._kv_claims[
-                    (handle.device.index, request.algorithm.n)
-                ]
-                st.claim_lanes.append(handle.device)
+                lane = handle.device
+                billed = self._billable_claim(lane, request)
+                lane.live_requests += 1
+                lane.planned_kv_bytes += billed
+                st.claim_lanes.append(lane)
+                st.claim_bytes[lane.index] = billed
+                if lane.ledger.segment_granular:
+                    segs = self._planned_claims(lane, request.problem)
+                    lane.note_planned_segments(segs)
+                    st.claim_segs[lane.index] = segs
+                    lane.planned_admitted_bytes += self._kv_claims[
+                        (lane.index, request.algorithm.n)
+                    ]
+                    lane.unique_admitted_bytes += billed
             routed_cls.setdefault(seq, device.lane_class)
             states[seq] = st
             return st

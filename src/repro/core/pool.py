@@ -4,9 +4,11 @@ The fleet used to be hard-wired to one :class:`~repro.core.server.TTSServer`.
 A :class:`DevicePool` generalizes that to N simulated devices, each a
 :class:`PooledDevice` lane holding
 
-* its own :class:`~repro.core.server.TTSServer` (same model pairing,
-  dataset and seed across the pool; the device spec — and with it the
-  roofline cost model and memory budget — differs per lane),
+* its own :class:`~repro.core.server.TTSServer` (the pool only requires a
+  shared dataset and seed; model pairing, dtype, device spec and memory
+  fraction are per-lane axes via :class:`~repro.routing.lanes.LaneSpec` —
+  lanes of one *lane class*, same deployed pairing, are interchangeable
+  for a session, and the router decides which class sees a request),
 * its own :class:`~repro.engine.clock.SimClock` timeline (all lanes share
   one time origin, so lane times are directly comparable and the fleet can
   interleave them deterministically), and
@@ -26,16 +28,31 @@ Placement — *which device serves a new request* — is a policy axis
 orthogonal to request scheduling (*which session gets the next round on a
 device*). :class:`PlacementPolicy` implementations ship in a registry
 mirroring the scheduler one (``first_fit``, ``least_loaded``,
-``kv_balanced``), and :meth:`~repro.core.scheduler.RequestScheduler
-.choose_device` lets a scheduler override the fleet's placement policy
-outright.
+``kv_balanced``, ``prefix_affinity``), and
+:meth:`~repro.core.scheduler.RequestScheduler.choose_device` lets a
+scheduler override the fleet's placement policy outright. Note that
+``prefix_affinity`` names *two* policies on purpose: the scheduler of
+that name (``--scheduler prefix_affinity``) orders the sessions already
+resident on one lane so consecutive rounds share maximal KV prefixes,
+while the placement of that name (``--placement prefix_affinity``,
+:class:`PrefixAffinityPlacement`) decides which lane a request lands on
+in the first place — it routes to the lane already holding the most of
+the request's planned prefix bytes, with a least-loaded tie-break. Both
+argmaxes go through :func:`~repro.core.prefix_sched.max_overlap_choice`
+so the two notions of affinity cannot drift apart.
 
-:meth:`DevicePool.migrate` moves a live session between lanes: its
-device-resident KV is written out over the source link, read back over the
-destination link (both charged — to the session's clock, since migration
-is part of serving that request, and to both lane timelines), the ledgers
-hand the footprint over, and the session's workers are rebuilt against the
-destination roofline via
+:meth:`DevicePool.migrate` moves a live session between lanes. On
+whole-session ledgers its device-resident KV is written out over the
+source link and its full footprint read back over the destination link;
+when both lanes carry segment-granular shared ledgers the handoff is a
+**delta-migration** instead — segments already resident at the
+destination cross no link in either direction (they gain a refcount),
+host-swapped segments skip the write-out, and only the remaining unique
+bytes pay PCIe (the savings land in ``migration_bytes_saved``). Either
+way the transfer is charged to the session's clock (migration is part of
+serving that request) and to both lane timelines, the ledgers hand the
+claims over transactionally, and the session's workers are rebuilt
+against the destination roofline via
 :meth:`~repro.core.session.SolveSession.rebind_device`.
 
 A single-device pool with the fifo scheduler is byte-identical to the
@@ -52,7 +69,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from repro.core.server import TTSServer
 from repro.engine.clock import SimClock
 from repro.errors import ConfigError, FaultError, SchedulingError
-from repro.hardware.memory import KVLedger, SharedKVLedger
+from repro.hardware.memory import KVLedger, KVSegment, SharedKVLedger
 from repro.hardware.offload import OffloadLink
 from repro.utils.suggest import did_you_mean
 
@@ -71,6 +88,8 @@ __all__ = [
     "FirstFitPlacement",
     "LeastLoadedPlacement",
     "KvBalancedPlacement",
+    "PrefixAffinityPlacement",
+    "delta_transfer_bytes",
     "build_placement",
     "list_placements",
     "placement_descriptions",
@@ -119,11 +138,30 @@ class PooledDevice:
     # -- fleet-maintained load state (placement inputs) -------------------
     live_requests: int = 0
     planned_kv_bytes: int = 0
+    #: Planned-claim refcounts of admitted-but-live requests: lane-tree
+    #: node id → ``[refcount, claim bytes]``. Lets dedup-aware admission
+    #: and ``prefix_affinity`` placement see a same-prefix *burst* —
+    #: requests admitted back to back before any of them has registered
+    #: real KV on the ledger. Maintained symmetrically by the fleet's
+    #: place/release paths; empty on non-sharing lanes.
+    planned_segments: dict[int, list[int]] = field(default_factory=dict)
     # -- rollup counters ---------------------------------------------------
     requests_served: int = 0
     migrations_in: int = 0
     migrations_out: int = 0
     kv_swap_s: float = 0.0
+    #: Placement decisions that landed a request here, and how many of
+    #: them found some of the request's planned prefix already on the
+    #: lane (their ratio is the fleet's affinity hit ratio).
+    placements: int = 0
+    affinity_hits: int = 0
+    #: Admission accounting on segment-granular lanes: full planned
+    #: footprints versus the unique bytes actually billed after dedup.
+    planned_admitted_bytes: int = 0
+    unique_admitted_bytes: int = 0
+    #: PCIe bytes delta-migration avoided moving (vs a full-footprint
+    #: transfer), split per lane by transfer direction.
+    migration_bytes_saved: int = 0
     #: Batched-iteration rollups (filled by the round batcher): how many
     #: generation sub-batches the lane launched, the total member rounds
     #: they contained, and the widest batch seen.
@@ -205,6 +243,64 @@ class PooledDevice:
     def kv_load_fraction(self) -> float:
         """Planned KV claims of live requests over the lane's KV budget."""
         return self.planned_kv_bytes / self.ledger.capacity_bytes
+
+    # -- sharing-aware placement/admission probes --------------------------
+
+    def prefix_overlap_bytes(self, claims: Sequence[KVSegment]) -> int:
+        """Bytes of ``claims`` this lane holds or is committed to hold.
+
+        The *guaranteed* overlap dedup-aware admission bills against: per
+        claim, the larger of the ledger's resident copy and a co-admitted
+        request's planned claim (:attr:`planned_segments`), never more
+        than the claim itself. Zero on non-sharing lanes — whole-session
+        ledgers cannot see segments, so billing stays full-footprint.
+        """
+        total = 0
+        for claim in claims:
+            held = self.ledger.resident_segment_bytes(claim.node_id)
+            planned = self.planned_segments.get(claim.node_id)
+            if planned is not None and planned[1] > held:
+                held = planned[1]
+            total += min(claim.num_bytes, held)
+        return total
+
+    def prefix_affinity_bytes(self, claims: Sequence[KVSegment]) -> int:
+        """Affinity score of this lane for a request planning ``claims``.
+
+        The *opportunistic* overlap ``prefix_affinity`` placement ranks
+        lanes by: everything resident under each planned root's lane-tree
+        subtree (same-problem canonical sessions re-derive identical step
+        content, so their whole resident lineage is shareable), or a
+        co-admitted request's still-pending planned claim when that is
+        larger. A score, not a bill — admission uses the conservative
+        :meth:`prefix_overlap_bytes` instead.
+        """
+        total = 0
+        for claim in claims:
+            held = self.ledger.resident_subtree_bytes(claim.node_id)
+            planned = self.planned_segments.get(claim.node_id)
+            if planned is not None and planned[1] > held:
+                held = planned[1]
+            total += held
+        return total
+
+    def note_planned_segments(self, claims: Sequence[KVSegment]) -> None:
+        """Refcount a placed request's planned claims (burst dedup)."""
+        for claim in claims:
+            entry = self.planned_segments.setdefault(claim.node_id, [0, 0])
+            entry[0] += 1
+            if claim.num_bytes > entry[1]:
+                entry[1] = claim.num_bytes
+
+    def forget_planned_segments(self, claims: Sequence[KVSegment]) -> None:
+        """Drop one placed request's planned-claim refcounts."""
+        for claim in claims:
+            entry = self.planned_segments.get(claim.node_id)
+            if entry is None:
+                continue
+            entry[0] -= 1
+            if entry[0] <= 0:
+                del self.planned_segments[claim.node_id]
 
     # -- fault lifecycle ---------------------------------------------------
 
@@ -314,6 +410,31 @@ class PooledDevice:
             f"PooledDevice({self.device_id}, t={self.clock.now:.3f}, "
             f"live={self.live_requests}, health={self.health.value})"
         )
+
+
+def delta_transfer_bytes(
+    source: KVLedger, destination: KVLedger, claims: Sequence[KVSegment]
+) -> tuple[int, int]:
+    """PCIe bytes a delta-migration moves: ``(write_out, read_in)``.
+
+    The conservation law the property tests pin: ``read_in`` equals the
+    session's footprint (the claims' byte sum) minus the bytes already
+    resident at the destination — shared segments cross no link.
+    ``write_out`` is the subset of ``read_in`` resident on the *source*
+    device; host-swapped segments already live in host memory, which the
+    lanes share, so they skip the write-out but still pay the read-in.
+    """
+    out_bytes = in_bytes = 0
+    for claim in claims:
+        needed = claim.num_bytes - min(
+            claim.num_bytes, destination.resident_segment_bytes(claim.node_id)
+        )
+        if not needed:
+            continue
+        in_bytes += needed
+        if source.resident_segment_bytes(claim.node_id):
+            out_bytes += needed
+    return out_bytes, in_bytes
 
 
 class DevicePool:
@@ -509,20 +630,41 @@ class DevicePool:
                 "instead of migrating its KV"
             )
         owner = session.session_id
-        out_bytes = source.ledger.resident_of(owner)
-        total_bytes = out_bytes + source.ledger.swapped_of(owner)
-        if total_bytes == 0:
-            # Untracked (or not yet started): fall back to the session's
-            # own footprint, fully device-resident on the source.
-            out_bytes = total_bytes = session.resident_kv_bytes
-
-        # Admission on the destination ledger first — a refused migration
-        # must not have advanced any clock.
-        evicted = destination.ledger.admit(owner, total_bytes)
+        claims = (
+            session.kv_segments()
+            if source.ledger.segment_granular
+            and destination.ledger.segment_granular
+            else ()
+        )
+        if claims:
+            # Delta-migration: only segments the destination does not
+            # already hold resident cross the links, and only the
+            # source-resident subset of those pays the write-out (the
+            # rest already lives in shared host memory). Admission on
+            # the destination ledger comes first and is transactional —
+            # a refused or failed handoff must not have advanced any
+            # clock or touched any refcount.
+            total_bytes = sum(claim.num_bytes for claim in claims)
+            out_bytes, in_bytes = delta_transfer_bytes(
+                source.ledger, destination.ledger, claims
+            )
+            saved_out = source.ledger.resident_of(owner) - out_bytes
+            saved_in = total_bytes - in_bytes
+            evicted = destination.ledger.admit_segments(owner, claims)
+        else:
+            out_bytes = source.ledger.resident_of(owner)
+            in_bytes = out_bytes + source.ledger.swapped_of(owner)
+            if in_bytes == 0:
+                # Untracked (or not yet started): fall back to the
+                # session's own footprint, fully device-resident on the
+                # source.
+                out_bytes = in_bytes = session.resident_kv_bytes
+            saved_out = saved_in = 0
+            evicted = destination.ledger.admit(owner, in_bytes)
         source.ledger.release(owner)
 
         dt_out = source.link.transfer_time(out_bytes) if out_bytes else 0.0
-        dt_in = destination.link.transfer_time(total_bytes) if total_bytes else 0.0
+        dt_in = destination.link.transfer_time(in_bytes) if in_bytes else 0.0
         dt_evict = sum(
             destination.link.transfer_time(num_bytes) for _, num_bytes in evicted
         )
@@ -548,6 +690,8 @@ class DevicePool:
         destination.migrations_in += 1
         source.kv_swap_s += dt_out
         destination.kv_swap_s += dt_evict + dt_in
+        source.migration_bytes_saved += saved_out
+        destination.migration_bytes_saved += saved_in
         return charged
 
 
@@ -628,10 +772,42 @@ class KvBalancedPlacement(PlacementPolicy):
         )
 
 
+class PrefixAffinityPlacement(PlacementPolicy):
+    """Route to the lane already holding the most of the request's prefix.
+
+    Scores each eligible lane by :meth:`PooledDevice.prefix_affinity_bytes`
+    over the request's *planned* claims (the prompt-root segments both
+    model caches would register at admission, per
+    :func:`repro.core.session.planned_kv_segments`) — counting the whole
+    resident lineage under those roots, since same-problem canonical
+    sessions regenerate identical step KV. The argmax goes through the
+    same :func:`repro.core.prefix_sched.max_overlap_choice` helper as the
+    ``prefix_affinity`` *scheduler*, with a least-loaded tie-break so a
+    sharing-free pool degenerates to :class:`LeastLoadedPlacement`.
+    """
+
+    name = "prefix_affinity"
+    description = "device holding the most of the request's planned KV prefix (ties: least loaded)"
+
+    def choose(self, request, devices, now):
+        # Deferred imports: session/prefix_sched import pool's siblings.
+        from repro.core.prefix_sched import max_overlap_choice
+        from repro.core.session import planned_kv_segments
+
+        return max_overlap_choice(
+            devices,
+            lambda lane: lane.prefix_affinity_bytes(
+                planned_kv_segments(lane.server, request.problem)
+            ),
+            lambda lane: (lane.live_requests, lane.clock.now, lane.index),
+        )
+
+
 _PLACEMENTS: dict[str, Callable[[], PlacementPolicy]] = {
     FirstFitPlacement.name: FirstFitPlacement,
     LeastLoadedPlacement.name: LeastLoadedPlacement,
     KvBalancedPlacement.name: KvBalancedPlacement,
+    PrefixAffinityPlacement.name: PrefixAffinityPlacement,
 }
 
 

@@ -34,6 +34,7 @@ __all__ = [
     "greedy_order",
     "greedy_successor",
     "lineage_order",
+    "max_overlap_choice",
     "random_order",
     "worst_case_order",
     "eviction_cost",
@@ -58,6 +59,27 @@ def lineage_order(items: Sequence[T], lineage_of: LineageFn) -> list[T]:
     return sorted(items, key=lineage_of)
 
 
+def max_overlap_choice(
+    items: Sequence[T],
+    overlap_of: Callable[[T], int],
+    tie_key: Callable[[T], object],
+) -> T:
+    """Argmax-overlap selection with a deterministic tie-break.
+
+    The single greedy invariant behind *both* notions of prefix affinity
+    in the fleet: the ``prefix_affinity`` scheduler picks the next
+    session whose KV path shares the most tokens with the last one run
+    (:func:`greedy_successor`), and the ``prefix_affinity`` *placement*
+    (:class:`~repro.core.pool.PrefixAffinityPlacement`) picks the lane
+    already holding the most bytes of a request's planned claims. Both
+    route through this helper so the two argmaxes cannot drift apart.
+    Maximal ``overlap_of`` wins; ties fall to the minimal ``tie_key``.
+    """
+    if not items:
+        raise ValueError("max_overlap_choice needs at least one candidate")
+    return min(items, key=lambda it: (-overlap_of(it), tie_key(it)))
+
+
 def greedy_successor(
     items: Sequence[T], tree: RadixTree, leaf_of: LeafFn, last_leaf: int
 ) -> T:
@@ -71,12 +93,10 @@ def greedy_successor(
     """
     if not items:
         raise ValueError("greedy_successor needs at least one candidate")
-    return min(
+    return max_overlap_choice(
         items,
-        key=lambda it: (
-            -tree.shared_prefix_tokens(last_leaf, leaf_of(it)),
-            leaf_of(it),
-        ),
+        lambda it: tree.shared_prefix_tokens(last_leaf, leaf_of(it)),
+        leaf_of,
     )
 
 

@@ -67,7 +67,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (server builds sessio
     from repro.core.server import TTSServer
 
 __all__ = ["SessionState", "SolveOutcome", "SolveSession", "RoundContribution",
-           "path_segments", "schedule_jobs", "lookahead_worthy"]
+           "path_segments", "planned_kv_segments", "schedule_jobs",
+           "lookahead_worthy"]
 
 _TRUNCATION_STD = 0.05  # spread of the R-truncation draw (Alg. 1, line 19)
 
@@ -159,6 +160,35 @@ def path_segments(
         for i in range(steps_done)
     )
     return tuple(segments)
+
+
+def planned_kv_segments(
+    server: "TTSServer", problem: Problem, namespace: str | None = None
+) -> tuple[KVSegment, ...]:
+    """The lane-tree claims a session for ``problem`` registers at setup —
+    computable *before* any session exists.
+
+    Mirrors the start of :meth:`SolveSession.kv_segments`: setup registers
+    the prompt segment on both model caches (``_step_admit``), sized
+    ``prompt_tokens * kv_bytes_per_token`` per model. Prompt roots hold
+    rng-independent content, so they hash without a namespace and every
+    session of the problem — canonical or racing replica — shares them.
+    Sharing-aware placement and dedup-aware admission probe lane ledgers
+    with these claims to ask "what would this request claim, and how much
+    of it is already here?".
+    """
+    root = prompt_segment_id(problem)
+    return tuple(
+        KVSegment(
+            _lane_node_id(tag, namespace, root, True),
+            None,
+            problem.prompt_tokens * bytes_per_token,
+        )
+        for tag, bytes_per_token in (
+            ("gen", server.gen_model.kv_bytes_per_token),
+            ("ver", server.ver_model.kv_bytes_per_token),
+        )
+    )
 
 
 def schedule_jobs(
@@ -422,6 +452,16 @@ class SolveSession:
                     KVSegment(node_id, parent_id, state.token_len * bytes_per_token)
                 )
         return tuple(claims)
+
+    def planned_segments(self) -> tuple[KVSegment, ...]:
+        """The claims this session will register at setup (pre-admission).
+
+        Available in every live state — including ``ADMITTED``, before
+        any cache exists — so admission control can ask "what would this
+        session claim" without stepping it. Once setup has run, these are
+        exactly the root claims of :meth:`kv_segments`.
+        """
+        return planned_kv_segments(self._server, self._problem, self.kv_namespace)
 
     def charge_kv_swap(self, dt: float) -> None:
         """Charge cross-session KV swap time against this session.

@@ -212,6 +212,45 @@ class KVLedger:
     def swapped_of(self, owner: str) -> int:
         return self._swapped.get(owner, 0)
 
+    # -- planned-overlap probes (read-only) ------------------------------
+    #
+    # Sharing-aware placement and dedup-aware admission ask a lane "how
+    # much of this request's planned KV do you already hold?" *before*
+    # any session exists. A whole-session ledger cannot see segments, so
+    # every probe reports zero overlap and the callers degrade to the
+    # pre-sharing full-footprint behaviour.
+
+    def resident_segment_bytes(self, node_id: int) -> int:
+        """Resident device bytes of one lane-tree segment (0 without sharing)."""
+        return 0
+
+    def resident_overlap_bytes(self, claims: "Iterable[KVSegment]") -> int:
+        """Bytes of ``claims`` already resident on this lane (0 without sharing).
+
+        The guaranteed overlap: only the claims' own segments count, so
+        the result is safe to *bill against* — a new session registering
+        these claims will physically share at least this much.
+        """
+        return 0
+
+    def resident_subtree_bytes(self, node_id: int) -> int:
+        """Resident bytes at or below ``node_id`` in the lane tree (0 here)."""
+        return 0
+
+    def unique_planned_bytes(
+        self, planned_bytes: int, claims: "Iterable[KVSegment]"
+    ) -> int:
+        """A request's planned footprint minus what this lane already holds.
+
+        Dedup-aware admission bills this instead of ``planned_bytes``:
+        segments of ``claims`` resident on the lane are shared, not
+        duplicated, so only the remainder competes for ledger headroom.
+        Identity (full footprint) on a whole-session ledger.
+        """
+        if planned_bytes < 0:
+            raise ValueError("planned_bytes must be non-negative")
+        return max(0, planned_bytes - self.resident_overlap_bytes(claims))
+
     # -- mutation --------------------------------------------------------
 
     def _touch(self, owner: str) -> None:
@@ -482,6 +521,49 @@ class SharedKVLedger(KVLedger):
         seg = self._segments.get(node_id)
         return sorted(seg.owners) if seg else []
 
+    def resident_segment_bytes(self, node_id: int) -> int:
+        """Resident device bytes of one lane-tree segment (0 if absent/swapped)."""
+        seg = self._segments.get(node_id)
+        return seg.num_bytes if seg is not None and seg.resident else 0
+
+    def resident_overlap_bytes(self, claims: "Iterable[KVSegment]") -> int:
+        """Bytes of ``claims`` this lane already holds device-resident.
+
+        Per claim, the overlap is capped at the claim's own length (a
+        longer resident copy shares only the prefix the claimant needs).
+        Read-only: probing never touches stamps, refcounts or peaks, so
+        placement and admission can ask freely without perturbing LRU
+        order.
+        """
+        return sum(
+            min(claim.num_bytes, self.resident_segment_bytes(claim.node_id))
+            for claim in claims
+        )
+
+    def resident_subtree_bytes(self, node_id: int) -> int:
+        """Resident device bytes at or below ``node_id`` in the lane tree.
+
+        The *opportunistic* overlap probe behind ``prefix_affinity``
+        placement: a canonical session re-derives the same step content
+        as resident same-problem sessions (draws are keyed), so every
+        resident byte under the request's planned root is potentially
+        shareable — not just the root itself. Includes namespaced replica
+        branches, which only share the root; placement treats the result
+        as an affinity *score*, while admission bills the guaranteed
+        :meth:`resident_overlap_bytes` only.
+        """
+        if node_id not in self._lane_tree:
+            return 0
+        total = 0
+        stack = [node_id]
+        while stack:
+            node = stack.pop()
+            seg = self._segments.get(node)
+            if seg is not None and seg.resident:
+                total += seg.num_bytes
+            stack.extend(self._lane_tree.get(node).children)
+        return total
+
     def owner_leaf(self, owner: str) -> int | None:
         """The owner's deepest registered lane-tree node (None if none).
 
@@ -655,6 +737,51 @@ class SharedKVLedger(KVLedger):
                 f"budget is {self._capacity} B"
             )
         _, evicted = self.charge_growth(owner, num_bytes)
+        return evicted
+
+    def admit_segments(
+        self, owner: str, segments: Sequence[KVSegment] | Iterable[KVSegment]
+    ) -> list[tuple[str, int]]:
+        """Place a migrated-in session as its segment lineage (delta-aware).
+
+        Segment-granular twin of :meth:`admit`: claims whose segments are
+        already resident here gain a refcount instead of a second copy —
+        only the rest becomes newly resident, and only *that* much room is
+        made. The handoff is transactional: the whole-footprint capacity
+        check raises :class:`~repro.errors.CapacityError` before anything
+        mutates, and room is evicted *before* the first claim registers —
+        an eviction failure mid-handoff leaves every refcount (here and,
+        because the caller releases the source only after this returns, at
+        the source) untouched. No swap counters move for the incoming
+        bytes themselves; migration traffic is the caller's to charge.
+        """
+        claims = list(segments)
+        total = sum(claim.num_bytes for claim in claims)
+        if total > self._capacity:
+            raise CapacityError(
+                f"cannot admit {total} B of KV for {owner!r}: device KV "
+                f"budget is {self._capacity} B"
+            )
+        new_ids = {claim.node_id for claim in claims}
+        incoming = sum(
+            max(0, claim.num_bytes - self.resident_segment_bytes(claim.node_id))
+            for claim in claims
+        )
+        evicted = self._evict_segments_for(
+            self.resident_bytes + incoming - self._capacity, keep=new_ids
+        )
+        # Past this point nothing can fail: register the claims.
+        self._tick += 1
+        for node in self._owner_segs.get(owner, set()) - new_ids:
+            self._drop_claim(owner, node)
+        self._owner_segs[owner] = new_ids
+        for claim in claims:
+            seg = self._ensure_segment(claim)
+            seg.owners[owner] = claim.num_bytes
+            seg.resident = True
+            seg.swapped = False
+            seg.stamp = self._tick
+        self._note_peaks()
         return evicted
 
     def release(self, owner: str) -> int:

@@ -275,6 +275,16 @@ class FleetMetrics:
     #: device time of the abandoned cheaper attempts they billed.
     escalations: int = 0
     escalated_work_s: float = 0.0
+    #: Sharing-aware fleet quantities. ``affinity_hit_ratio`` is the
+    #: fraction of primary placements that landed on a lane already
+    #: holding (or planning) part of the request's KV prefix; the
+    #: planned/unique pair contrasts full planned footprints with what
+    #: dedup-aware admission actually billed; ``kv_migration_bytes_saved``
+    #: totals PCIe bytes delta-migration avoided shipping.
+    affinity_hit_ratio: float = 0.0
+    kv_planned_admitted_bytes: int = 0
+    kv_unique_admitted_bytes: int = 0
+    kv_migration_bytes_saved: int = 0
 
     @classmethod
     def aggregate(
@@ -304,6 +314,15 @@ class FleetMetrics:
         occupancy_peak = 1
         lane_failures = 0
         mttr: float | None = None
+        affinity_ratio = 0.0
+        planned_admitted = unique_admitted = migration_saved = 0
+        if devices:
+            placements = sum(d.placements for d in devices)
+            hits = sum(d.affinity_hits for d in devices)
+            affinity_ratio = (hits / placements) if placements > 0 else 0.0
+            planned_admitted = sum(d.planned_admitted_bytes for d in devices)
+            unique_admitted = sum(d.unique_admitted_bytes for d in devices)
+            migration_saved = sum(d.migration_bytes_saved for d in devices)
         if devices:
             lane_failures = sum(d.failures for d in devices)
             repairs = sum(d.recoveries for d in devices)
@@ -381,6 +400,10 @@ class FleetMetrics:
             lane_failures=lane_failures,
             escalations=sum(r.escalations for r in records),
             escalated_work_s=sum(r.escalated_work_s for r in records),
+            affinity_hit_ratio=affinity_ratio,
+            kv_planned_admitted_bytes=planned_admitted,
+            kv_unique_admitted_bytes=unique_admitted,
+            kv_migration_bytes_saved=migration_saved,
         )
 
     def summary_rows(self) -> list[list[object]]:
@@ -416,6 +439,13 @@ class FleetMetrics:
             ["failed over", self.failed_over],
             ["escalations", self.escalations],
             ["escalated work s", round(self.escalated_work_s, 2)],
+            ["affinity hit ratio", round(self.affinity_hit_ratio, 3)],
+            ["kv planned admitted MB",
+             round(self.kv_planned_admitted_bytes / 1024**2, 2)],
+            ["kv unique admitted MB",
+             round(self.kv_unique_admitted_bytes / 1024**2, 2)],
+            ["kv migration saved MB",
+             round(self.kv_migration_bytes_saved / 1024**2, 2)],
         ]
 
     def table(self, title: str | None = None) -> str:
@@ -465,6 +495,15 @@ class DeviceUtilization:
     recoveries: int = 0
     downtime_s: float = 0.0
     stall_s: float = 0.0
+    #: Sharing-aware placement/admission counters: primary placements the
+    #: lane won, how many landed on already-resident prefix bytes, the
+    #: full-vs-unique planned bytes admission billed here, and PCIe bytes
+    #: delta-migration spared this lane's link.
+    placements: int = 0
+    affinity_hits: int = 0
+    planned_admitted_bytes: int = 0
+    unique_admitted_bytes: int = 0
+    migration_bytes_saved: int = 0
 
     @classmethod
     def rollup(
@@ -513,6 +552,17 @@ class DeviceUtilization:
                     recoveries=getattr(lane, "recoveries", 0),
                     downtime_s=getattr(lane, "downtime_s", 0.0),
                     stall_s=getattr(lane, "stall_s", 0.0),
+                    placements=getattr(lane, "placements", 0),
+                    affinity_hits=getattr(lane, "affinity_hits", 0),
+                    planned_admitted_bytes=getattr(
+                        lane, "planned_admitted_bytes", 0
+                    ),
+                    unique_admitted_bytes=getattr(
+                        lane, "unique_admitted_bytes", 0
+                    ),
+                    migration_bytes_saved=getattr(
+                        lane, "migration_bytes_saved", 0
+                    ),
                 )
             )
         return tuple(rows)

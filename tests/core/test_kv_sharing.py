@@ -17,8 +17,10 @@ from repro.core.fleet import TTSFleet, generate_arrivals
 from repro.core.pool import DevicePool, PooledDevice
 from repro.core.scheduler import FirstFinishScheduler, PrefixAffinityScheduler
 from repro.core.server import TTSServer
+from repro.core.session import planned_kv_segments
 from repro.errors import ConfigError
 from repro.hardware.memory import SharedKVLedger
+from repro.metrics.accuracy import majority_answer
 from repro.search.registry import build_algorithm
 from repro.workloads.datasets import build_dataset
 
@@ -253,6 +255,158 @@ class TestPrefixAffinityScheduler:
     def any_server():
         dataset = build_dataset("amc23", seed=0, size=2)
         return TTSServer(fasttts_config(memory_fraction=0.4, seed=0), dataset)
+
+
+def sharing_pool_run(scheduler, placement):
+    """Six beam_search(8) requests on a two-lane rtx4090 sharing pool.
+
+    The mix is two of problem 5 then four of problem 1, 6.5 s apart. At
+    ``verify_threshold=0.95`` problem 1's canonical replica peaks at 0.93
+    confidence and can never settle its own race, while its fork verifies
+    at 0.96 *and* runs ~30% faster — so first-finish racing genuinely
+    shortens every problem-1 request. Problem 5 is the opposite (only the
+    canonical verifies), which keeps racing honest: a scheduler that
+    always waited for forks would lose on it.
+    """
+    dataset = build_dataset("amc23", seed=0, size=8)
+    config = fasttts_config(memory_fraction=0.4, seed=0)
+    fleet = TTSFleet(
+        config, dataset, scheduler=scheduler,
+        devices=["rtx4090", "rtx4090"], placement=placement,
+        kv_sharing="prefix",
+    )
+    problems = list(dataset)
+    for i, pick in enumerate([5, 5, 1, 1, 1, 1]):
+        fleet.submit(problems[pick], build_algorithm("beam_search", 8), i * 6.5)
+    return fleet.drain()
+
+
+def racing():
+    return FirstFinishScheduler(replicas=2, verify_threshold=0.95)
+
+
+@pytest.fixture(scope="module")
+def combined_run():
+    """Racing scheduler *and* sharing-aware placement."""
+    return sharing_pool_run(racing(), "prefix_affinity")
+
+
+@pytest.fixture(scope="module")
+def racing_alone_run():
+    """Racing with the fleet's default placement (first_fit)."""
+    return sharing_pool_run(racing(), "first_fit")
+
+
+@pytest.fixture(scope="module")
+def affinity_alone_run():
+    """Sharing-aware placement without racing."""
+    return sharing_pool_run("fifo", "prefix_affinity")
+
+
+class TestPlacementRacingSynergy:
+    """ISSUE 10 headline: ``first_finish`` racing plus ``prefix_affinity``
+    placement strictly beats either mechanism alone on p95 sojourn.
+
+    Affinity keeps problem-5 canonicals clustered on the lane that holds
+    their prefix and routes problem-1 work to the other lane, so the
+    race-settling forks never queue behind an unrelated canonical stream;
+    first_fit lumps every canonical onto lane 0 and every fork onto
+    lane 1, and fifo forgoes the racing win on problem 1 entirely.
+    """
+
+    def test_combined_strictly_beats_both_baselines_on_p95(
+        self, combined_run, racing_alone_run, affinity_alone_run
+    ):
+        p95 = combined_run.metrics.latency_p95_s
+        assert p95 < racing_alone_run.metrics.latency_p95_s
+        assert p95 < affinity_alone_run.metrics.latency_p95_s
+
+    def test_all_three_agree_on_every_answer(
+        self, combined_run, racing_alone_run, affinity_alone_run
+    ):
+        # FFS records the *winning* replica's beams, fifo the canonical's;
+        # beam signatures legitimately differ, majority answers must not.
+        def answers(report):
+            return {
+                rid: majority_answer(res.beams)
+                for rid, res in report.results.items()
+            }
+
+        assert (
+            answers(combined_run)
+            == answers(racing_alone_run)
+            == answers(affinity_alone_run)
+        )
+        assert len(answers(combined_run)) == 6  # nothing rejected anywhere
+
+    def test_affinity_metrics_populated_on_the_combined_run(
+        self, combined_run
+    ):
+        m = combined_run.metrics
+        # Repeat problems land on lanes already holding their prefix...
+        assert 0.0 < m.affinity_hit_ratio <= 1.0
+        # ...and dedup-aware admission billed less than the full plans.
+        assert 0 < m.kv_unique_admitted_bytes < m.kv_planned_admitted_bytes
+        rows = {row[0] for row in m.summary_rows()}
+        assert {
+            "affinity hit ratio",
+            "kv planned admitted MB",
+            "kv unique admitted MB",
+            "kv migration saved MB",
+        } <= rows
+
+    def test_per_lane_affinity_counters_roll_up(self, combined_run):
+        lanes = combined_run.devices
+        assert sum(d.placements for d in lanes) == 6
+        assert sum(d.affinity_hits for d in lanes) > 0
+        assert sum(d.unique_admitted_bytes for d in lanes) == (
+            combined_run.metrics.kv_unique_admitted_bytes
+        )
+
+
+class TestDedupAwareAdmission:
+    """ISSUE 10: deny-mode admission bills *unique* planned bytes, so a
+    same-prefix burst that full-footprint billing rejects is admitted."""
+
+    @staticmethod
+    def burst(kv_sharing):
+        dataset = build_dataset("amc23", seed=0, size=8)
+        config = fasttts_config(memory_fraction=0.6, seed=0)
+        fleet = TTSFleet(
+            config, dataset, scheduler="fifo", devices=["rtx4090"],
+            kv_sharing=kv_sharing, oversubscription="deny",
+        )
+        lane = fleet.pool[0]
+        problem = list(dataset)[1]
+        footprint = lane.server.plan_allocation(8).kv_total_bytes
+        overlap = sum(
+            claim.num_bytes
+            for claim in planned_kv_segments(lane.server, problem)
+        )
+        # Room for one full plan plus one dedup-billed plan — and nothing
+        # more: only prefix-aware billing can admit the second request.
+        lane.ledger.resize(2 * footprint - overlap)
+        fleet.submit(problem, build_algorithm("beam_search", 8), 0.0)
+        fleet.submit(problem, build_algorithm("beam_search", 8), 0.0)
+        return fleet.drain(), footprint, overlap
+
+    def test_sharing_admits_the_burst_full_footprint_rejects_it(self):
+        shared, footprint, overlap = self.burst("prefix")
+        whole, _, _ = self.burst("off")
+        assert [r.accepted for r in shared.records] == [True, True]
+        assert [r.accepted for r in whole.records] == [True, False]
+        assert "oversubscribe" in whole.records[1].reject_reason
+        # The admission books say exactly what was deduplicated.
+        assert shared.metrics.kv_planned_admitted_bytes == 2 * footprint
+        assert shared.metrics.kv_unique_admitted_bytes == (
+            2 * footprint - overlap
+        )
+
+    def test_whole_session_ledger_reports_no_dedup_billing(self):
+        whole, _, _ = self.burst("off")
+        assert whole.metrics.kv_planned_admitted_bytes == 0
+        assert whole.metrics.kv_unique_admitted_bytes == 0
+        assert whole.metrics.affinity_hit_ratio == 0.0
 
 
 class TestConfiguration:

@@ -152,7 +152,9 @@ class TestDevicePool:
 
 class TestPlacementRegistry:
     def test_policies_registered(self):
-        assert list_placements() == ["first_fit", "kv_balanced", "least_loaded"]
+        assert list_placements() == [
+            "first_fit", "kv_balanced", "least_loaded", "prefix_affinity"
+        ]
 
     def test_descriptions_cover_every_policy(self):
         assert set(placement_descriptions()) == set(list_placements())
@@ -189,6 +191,79 @@ class TestPlacementPolicies:
         a = drain(dataset, ["rtx4090", "rtx4070ti"], rate=0.1)
         b = drain(dataset, ["rtx4090", "rtx4070ti"], rate=0.1)
         assert a.records == b.records
+
+
+class TestPrefixAffinityPlacement:
+    """The placement-side prefix_affinity: route to the warm lane."""
+
+    @staticmethod
+    def prefix_pool():
+        dataset = build_dataset("amc23", seed=0, size=2)
+        pool = DevicePool.build(
+            fasttts_config(memory_fraction=0.9, seed=0), dataset,
+            ["rtx4090", "rtx4070ti"], kv_sharing="prefix",
+        )
+        return pool, list(dataset)
+
+    @staticmethod
+    def request(problem, n=4):
+        from repro.core.fleet import FleetRequest
+
+        return FleetRequest(
+            request_id="req-0000", problem=problem,
+            algorithm=build_algorithm("beam_search", n), arrival_s=0.0,
+        )
+
+    def test_routes_to_lane_holding_the_prefix(self):
+        pool, problems = self.prefix_pool()
+        # Warm the *higher-indexed* lane so the choice cannot be explained
+        # by any index/load tie-break.
+        warm = make_handle(pool[1], problems[0])
+        for _ in range(4):
+            warm.session.step()
+        pool[1].ledger.charge_growth_segments(
+            warm.session.session_id, warm.session.kv_segments()
+        )
+        policy = build_placement("prefix_affinity")
+        chosen = policy.choose(self.request(problems[0]), list(pool), 0.0)
+        assert chosen is pool[1]
+        # a different problem shares nothing: falls back to least loaded
+        other = policy.choose(self.request(problems[1]), list(pool), 0.0)
+        assert other is pool[0]
+
+    def test_pending_planned_claims_attract_before_any_kv_lands(self):
+        """A same-prefix burst co-locates on planned claims alone."""
+        from repro.core.session import planned_kv_segments
+
+        pool, problems = self.prefix_pool()
+        planned = planned_kv_segments(pool[1].server, problems[0])
+        pool[1].note_planned_segments(planned)
+        policy = build_placement("prefix_affinity")
+        assert policy.choose(self.request(problems[0]), list(pool), 0.0) is pool[1]
+        pool[1].forget_planned_segments(planned)
+        assert policy.choose(self.request(problems[0]), list(pool), 0.0) is pool[0]
+
+    def test_cold_pool_ties_fall_to_least_loaded(self, dataset):
+        affinity = drain(dataset, ["rtx4090", "rtx4070ti"], rate=0.1,
+                         placement="prefix_affinity")
+        least = drain(dataset, ["rtx4090", "rtx4070ti"], rate=0.1,
+                      placement="least_loaded")
+        # distinct problems, whole-session ledgers: every affinity score is
+        # zero, so the policy is least_loaded — byte-identical records
+        assert affinity.records == least.records
+
+    def test_non_sharing_lanes_score_zero(self, dataset):
+        pool = DevicePool.build(
+            fasttts_config(memory_fraction=0.9, seed=0), dataset,
+            ["rtx4090", "rtx4070ti"],
+        )
+        from repro.core.session import planned_kv_segments
+
+        lane = pool[0]
+        assert not lane.ledger.segment_granular
+        claims = planned_kv_segments(lane.server, list(dataset)[0])
+        assert lane.prefix_affinity_bytes(claims) == 0
+        assert lane.prefix_overlap_bytes(claims) == 0
 
 
 class TestHeterogeneousPoolBeatsSingles:
@@ -433,6 +508,95 @@ class TestMigration:
         assert session.session_id in pool[0].ledger.owners
         assert session.session_id not in pool[1].ledger.owners
         assert handle.device is pool[0]
+
+    def prefix_pool(self, size=1):
+        dataset = build_dataset("amc23", seed=0, size=size)
+        pool = DevicePool.build(
+            fasttts_config(memory_fraction=0.9, seed=0), dataset,
+            ["rtx4090", "rtx4070ti"], kv_sharing="prefix",
+        )
+        return pool, list(dataset)
+
+    @staticmethod
+    def warm(lane, problem, rounds, n=4):
+        """Run a canonical session ``rounds`` steps and register its KV."""
+        handle = make_handle(lane, problem, n=n)
+        for _ in range(rounds):
+            handle.session.step()
+        lane.ledger.charge_growth_segments(
+            handle.session.session_id, handle.session.kv_segments()
+        )
+        return handle
+
+    def test_delta_migration_free_when_destination_fully_resident(self):
+        """Same-progress canonical peer at the destination: nothing moves.
+
+        Canonical sessions of one problem regenerate identical segment
+        lineages on every lane (content-keyed draws), so the migrating
+        session's whole footprint is already resident at the destination
+        and the delta path charges zero PCIe time.
+        """
+        pool, problems = self.prefix_pool()
+        src, dst = pool[0], pool[1]
+        self.warm(dst, problems[0], rounds=5)
+        handle = self.warm(src, problems[0], rounds=5)
+        handle.binding.sync(src.clock)
+        session = handle.session
+        moved = session.resident_kv_bytes
+        assert moved > 0
+        full_cost = src.link.transfer_time(moved) + dst.link.transfer_time(moved)
+
+        charged = pool.migrate(handle, dst)
+
+        assert charged == 0.0 < full_cost
+        assert dst.ledger.resident_of(session.session_id) == moved
+        assert src.ledger.resident_of(session.session_id) == 0
+        # every byte of both directions was saved, and the lanes say so
+        assert src.migration_bytes_saved == moved
+        assert dst.migration_bytes_saved == moved
+        assert handle.device is dst
+
+    def test_delta_migration_charges_strictly_less_on_partial_overlap(self):
+        """A shallower peer shares only a lineage prefix: the delta pays
+        for the missing suffix, strictly less than the full footprint."""
+        pool, problems = self.prefix_pool()
+        src, dst = pool[0], pool[1]
+        self.warm(dst, problems[0], rounds=2)
+        handle = self.warm(src, problems[0], rounds=6)
+        handle.binding.sync(src.clock)
+        session = handle.session
+        moved = session.resident_kv_bytes
+        full_cost = src.link.transfer_time(moved) + dst.link.transfer_time(moved)
+
+        charged = pool.migrate(handle, dst)
+
+        # The rng-independent prompt roots are shared at minimum, so the
+        # delta is strictly cheaper than shipping the whole footprint;
+        # the deeper rounds are not there, so it is not free either.
+        assert 0.0 < charged < full_cost
+        assert dst.ledger.resident_of(session.session_id) == moved
+        assert src.ledger.resident_of(session.session_id) == 0
+        assert src.migration_bytes_saved > 0
+        assert dst.migration_bytes_saved > 0
+
+    def test_whole_session_ledgers_still_ship_the_full_footprint(self):
+        """kv_sharing off: byte path unchanged, nothing reported saved."""
+        pool, problem = self.pool()
+        src, dst = pool[0], pool[1]
+        handle = make_handle(src, problem)
+        for _ in range(5):
+            handle.session.step()
+        handle.binding.sync(src.clock)
+        src.ledger.charge_growth(
+            handle.session.session_id, handle.session.resident_kv_bytes
+        )
+        moved = handle.session.resident_kv_bytes
+        charged = pool.migrate(handle, dst)
+        assert charged == pytest.approx(
+            src.link.transfer_time(moved) + dst.link.transfer_time(moved)
+        )
+        assert src.migration_bytes_saved == 0
+        assert dst.migration_bytes_saved == 0
 
     def test_migrate_error_messages_name_lanes(self):
         pool, problem = self.pool()

@@ -168,6 +168,19 @@ class TestCommands:
         assert "per-device utilization" in out
         assert "dev0:rtx4090" in out and "dev1:rtx4070ti" in out
 
+    def test_fleet_prefix_affinity_placement(self, capsys):
+        code = main([
+            "fleet", "--dataset", "amc23", "--requests", "2", "-n", "4",
+            "--rate", "0.05", "--memory-fraction", "0.9",
+            "--devices", "rtx4090,rtx4090", "--placement", "prefix_affinity",
+            "--kv-sharing", "prefix",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "placement prefix_affinity" in out
+        assert "affinity hit ratio" in out
+        assert "kv unique admitted MB" in out
+
     def test_fleet_duplicate_devices_get_distinct_lane_ids(self, capsys):
         # Duplicate --devices entries are deliberately legal: fault drills
         # span pools of identical cards. Each lane id is index-suffixed so
@@ -218,7 +231,9 @@ class TestCommands:
         out = capsys.readouterr().out
         for policy in ("fifo", "sjf", "round_robin", "first_finish"):
             assert policy in out
-        for placement in ("first_fit", "least_loaded", "kv_balanced"):
+        for placement in (
+            "first_fit", "least_loaded", "kv_balanced", "prefix_affinity"
+        ):
             assert placement in out
         for router in ("static", "predicted", "cascade"):
             assert router in out

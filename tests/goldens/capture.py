@@ -13,9 +13,10 @@ monolithic implementation. ``--filter`` regenerates a named subset
 (``solve``, ``fleet``, ``sharing`` — the fleet runs with ``--kv-sharing
 off`` spelled out, ``batching`` — same with ``--batching off``,
 ``openloop`` — same with ``--late-policy serve_late``, ``faults`` — same
-with ``--faults off``, ``routing`` — same with ``--router off``) instead
-of everything — handy when one golden family legitimately changed and
-the others must provably not.
+with ``--faults off``, ``routing`` — same with ``--router off``,
+``placement`` — same with ``--placement first_fit``) instead of
+everything — handy when one golden family legitimately changed and the
+others must provably not.
 """
 
 from __future__ import annotations
@@ -87,6 +88,7 @@ def capture_fleet(
     faults: str = "off",
     recovery: str = "failover",
     router: str = "off",
+    placement: str = "first_fit",
 ) -> dict:
     runs = {}
     for label, rate, max_in_flight in (
@@ -101,7 +103,7 @@ def capture_fleet(
             kv_sharing=kv_sharing, batching=batching,
             late_policy=late_policy,
             faults=faults, recovery=recovery,
-            router=router,
+            router=router, placement=placement,
         )
         arrivals = generate_arrivals(len(dataset), rate, seed=FLEET_SEED)
         fleet.submit_stream(list(dataset), build_algorithm("beam_search", 4), arrivals)
@@ -173,6 +175,19 @@ def capture_openloop() -> dict:
     return capture_fleet(late_policy="serve_late")
 
 
+def capture_placement() -> dict:
+    """The fleet goldens again, with ``placement="first_fit"`` spelled out.
+
+    Same contract as the other assertion-only families: the default
+    placement policy named explicitly must stay byte-identical to the
+    default fleet golden, so regenerating this subset and diffing is the
+    CI assertion that the placement subsystem (including the
+    sharing-aware ``prefix_affinity`` policy riding in the same registry)
+    never perturbs default-placed serving.
+    """
+    return capture_fleet(placement="first_fit")
+
+
 # golden family name -> (output file, capture function)
 GOLDENS = {
     "solve": ("solve_goldens.json", capture_solves),
@@ -182,6 +197,7 @@ GOLDENS = {
     "openloop": ("fleet_fifo_goldens.json", capture_openloop),
     "faults": ("fleet_fifo_goldens.json", capture_faults),
     "routing": ("fleet_fifo_goldens.json", capture_routing),
+    "placement": ("fleet_fifo_goldens.json", capture_placement),
 }
 
 
@@ -197,16 +213,18 @@ def main(argv: list[str] | None = None) -> None:
              f"one of: {', '.join(sorted(GOLDENS))}; default: all)",
     )
     args = parser.parse_args(argv)
-    # "sharing", "batching", "openloop", "faults", and "routing" are
-    # assertion-only subsets (byte-for-byte the fleet family with the
-    # dedup-off ledger / run-to-completion / serve-late / injector-off /
-    # router-off path spelled out); the default run skips them so the
-    # fleet simulation is not executed six times.
+    # "sharing", "batching", "openloop", "faults", "routing", and
+    # "placement" are assertion-only subsets (byte-for-byte the fleet
+    # family with the dedup-off ledger / run-to-completion / serve-late /
+    # injector-off / router-off / first-fit path spelled out); the
+    # default run skips them so the fleet simulation is not executed
+    # seven times.
     selected = (
         args.filter if args.filter
         else sorted(
             set(GOLDENS)
-            - {"sharing", "batching", "openloop", "faults", "routing"}
+            - {"sharing", "batching", "openloop", "faults", "routing",
+               "placement"}
         )
     )
     for name in selected:

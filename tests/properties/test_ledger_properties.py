@@ -13,8 +13,10 @@ After *any* sequence of ``charge_growth`` / ``restore`` / ``admit`` /
 """
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
+from repro.core.pool import delta_transfer_bytes
 from repro.hardware.memory import KVLedger, KVSegment, SharedKVLedger
 
 CAPACITY = 100
@@ -136,3 +138,124 @@ class TestSharedKVLedgerInvariants:
             ledger.restore(owner)
             assert ledger.swapped_of(owner) == 0
             assert ledger.resident_of(owner) == expected[owner]
+
+
+def migrating_claims(sizes):
+    """A root->leaf chain for the migrating session: the shared root (the
+    prompt analogue, node 7) plus step nodes no ``apply_ops`` owner ever
+    touches, so overlap with a populated destination comes only through
+    the root or an explicit same-lineage peer."""
+    claims, parent = [], None
+    for depth, size in enumerate(sizes):
+        node = 7 if depth == 0 else 5000 + depth
+        claims.append(KVSegment(node, parent, size))
+        parent = node
+    return claims
+
+
+class TestDeltaMigrationConservation:
+    """ISSUE 10: delta-migration's PCIe books against two real ledgers.
+
+    Conservation law: the bytes read in at the destination equal the
+    migrating session's footprint minus the destination-resident shared
+    bytes — shared segments cross no link — and the write-out is the
+    source-resident subset of exactly those bytes.
+    """
+
+    @given(
+        st.lists(st.integers(1, 30), min_size=1, max_size=3),
+        ops,
+        st.integers(0, 3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_read_in_is_footprint_minus_destination_overlap(
+        self, sizes, dst_ops, peer_depth
+    ):
+        source = SharedKVLedger(CAPACITY)
+        destination = SharedKVLedger(CAPACITY)
+        claims = migrating_claims(sizes)
+        source.charge_growth_segments("mig", claims)
+        # Arbitrary co-resident history at the destination (may leave the
+        # shared root resident), plus optionally a same-problem peer
+        # holding a prefix of the migrating lineage.
+        apply_ops(destination, dst_ops, shared_root=True)
+        if peer_depth:
+            destination.charge_growth_segments("peer", claims[:peer_depth])
+        footprint = sum(c.num_bytes for c in claims)
+        overlap = sum(
+            min(c.num_bytes, destination.resident_segment_bytes(c.node_id))
+            for c in claims
+        )
+
+        out_bytes, in_bytes = delta_transfer_bytes(source, destination, claims)
+
+        assert in_bytes == footprint - overlap
+        # ...which is exactly the ledger's unique-planned-bytes accessor.
+        assert in_bytes == destination.unique_planned_bytes(footprint, claims)
+        expected_out = sum(
+            c.num_bytes
+            - min(c.num_bytes, destination.resident_segment_bytes(c.node_id))
+            for c in claims
+            if source.resident_segment_bytes(c.node_id)
+        )
+        assert out_bytes == expected_out
+        assert 0 <= out_bytes <= in_bytes <= footprint
+
+        # The handoff itself: the destination ends up owning the full
+        # footprint, the source none of it, capacity never exceeded.
+        destination.admit_segments("mig", claims)
+        source.release("mig")
+        assert destination.resident_of("mig") == footprint
+        assert source.resident_of("mig") == 0
+        assert destination.resident_bytes <= CAPACITY
+
+    def test_failed_eviction_mid_handoff_leaves_refcounts_untouched(
+        self, monkeypatch
+    ):
+        """Migrate-transactionality regression (ISSUE 10 satellite).
+
+        ``admit_segments`` makes room *before* registering any claim; if
+        the destination's eviction blows up mid-handoff, no refcount may
+        have moved on either ledger — the caller releases the source only
+        after a successful admit.
+        """
+        destination = SharedKVLedger(CAPACITY)
+        destination.charge_growth_segments(
+            "resident", lineage_claims(1, [40, 40], shared_root=False)
+        )
+        claims = migrating_claims([30, 30, 30])
+        source = SharedKVLedger(CAPACITY)
+        source.charge_growth_segments("mig", claims)
+        owners_before = {
+            node: dict(destination._segments[node].owners)
+            for node in destination._segments
+        }
+        resident_before = destination.resident_bytes
+
+        def boom(need, keep):
+            raise RuntimeError("eviction failed mid-handoff")
+
+        monkeypatch.setattr(destination, "_evict_segments_for", boom)
+        with pytest.raises(RuntimeError, match="mid-handoff"):
+            destination.admit_segments("mig", claims)
+
+        assert "mig" not in destination.owners
+        assert destination.resident_bytes == resident_before
+        assert {
+            node: dict(destination._segments[node].owners)
+            for node in destination._segments
+        } == owners_before
+        # The source still holds every byte: nothing leaked in transit.
+        assert source.resident_of("mig") == sum(c.num_bytes for c in claims)
+
+    def test_whole_footprint_capacity_check_raises_before_any_mutation(self):
+        destination = SharedKVLedger(CAPACITY)
+        destination.charge_growth_segments(
+            "resident", lineage_claims(1, [10], shared_root=False)
+        )
+        claims = migrating_claims([60, 60])  # 120 B > 100 B budget
+        with pytest.raises(Exception) as excinfo:
+            destination.admit_segments("mig", claims)
+        assert "budget" in str(excinfo.value)
+        assert "mig" not in destination.owners
+        assert destination.resident_of("resident") == 10
